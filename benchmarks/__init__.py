@@ -1,0 +1,6 @@
+"""Benchmark harness — one module per paper table/figure/ablation.
+
+See DESIGN.md §4 for the experiment index and
+:mod:`repro.experiments.configs` for the scale knobs
+(``REPRO_BENCH_N``, ``REPRO_FULL``).
+"""

@@ -1,0 +1,73 @@
+"""Ablation A1 — the four distance functions (plus Nergiz–Clifton).
+
+Section VI-A: "Among the different variants of the k-anonymity
+agglomerative algorithms, the two distance functions that consistently
+bring the best results are (10) and (11)" — our ``d3`` and ``d4``.
+
+For every (dataset, measure) pair we print the full sweep and assert
+the softened claim: on average over the grid, the better of {d3, d4}
+beats the better of {d1, d2}; and d3/d4 occupy the top of the ranking
+in most blocks.
+
+The timed benchmark compares one d1 run against one d3 run (same data)
+via the standard benchmark fixture on d3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import banner
+from repro.core.agglomerative import agglomerative_clustering
+from repro.core.distances import get_distance
+from repro.experiments.ablations import distance_ablation
+
+
+@pytest.fixture(scope="module")
+def ablations(runner):
+    return {
+        (dataset, measure): distance_ablation(runner, dataset, measure)
+        for dataset in runner.config.datasets
+        for measure in runner.config.measures
+    }
+
+
+class TestDistanceAblation:
+    def test_print_all(self, ablations):
+        print(banner("ABLATION A1 — distance functions (8)–(11) + NC"))
+        for (dataset, measure), ab in ablations.items():
+            print(f"\n-- {dataset} / {measure} --   ranking: {ab.ranking()}")
+            print(ab.format())
+
+    def test_d3_d4_beat_d1_d2_on_average(self, ablations, runner):
+        gaps = []
+        for ab in ablations.values():
+            best_34 = min(
+                sum(ab.costs["d3"].values()), sum(ab.costs["d4"].values())
+            )
+            best_12 = min(
+                sum(ab.costs["d1"].values()), sum(ab.costs["d2"].values())
+            )
+            gaps.append(best_12 - best_34)
+        assert float(np.mean(gaps)) >= -1e-9
+
+    def test_d3_or_d4_near_top_in_most_blocks(self, ablations):
+        hits = 0
+        for ab in ablations.values():
+            top_two = set(ab.ranking()[:2])
+            if top_two & {"d3", "d4"}:
+                hits += 1
+        assert hits >= len(ablations) // 2 + 1
+
+    def test_every_variant_valid(self, ablations):
+        for ab in ablations.values():
+            for costs in ab.costs.values():
+                for value in costs.values():
+                    assert value >= 0.0
+
+    def test_benchmark_d3_run(self, runner, benchmark):
+        model = runner.model("art", "entropy")
+        benchmark(
+            lambda: agglomerative_clustering(model, 10, get_distance("d3"))
+        )

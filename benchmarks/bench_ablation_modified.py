@@ -1,0 +1,61 @@
+"""Ablation A3 — basic vs modified agglomerative (Algorithm 2).
+
+Section VI-A: "The corrections made in the modified agglomerative
+algorithm usually reduce the information loss [...] However, those
+improvements are negligible for the two distance functions mentioned
+above [(10), (11)]".
+
+We print the per-distance totals and assert both halves of the claim:
+(a) over the d1/d2 variants, the modification does not hurt on average;
+(b) for d3/d4 the |gain| is small (≤ 10% in magnitude).
+
+The timed benchmark is one modified-agglomerative run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import banner
+from repro.core.agglomerative import agglomerative_clustering
+from repro.core.distances import get_distance
+from repro.experiments.ablations import modified_ablation
+
+
+@pytest.fixture(scope="module")
+def ablations(runner):
+    return {
+        (dataset, measure): modified_ablation(runner, dataset, measure)
+        for dataset in runner.config.datasets
+        for measure in runner.config.measures
+    }
+
+
+class TestModifiedAblation:
+    def test_print_all(self, ablations):
+        print(banner("ABLATION A3 — basic vs modified agglomerative"))
+        for (dataset, measure), ab in ablations.items():
+            print(f"\n-- {dataset} / {measure} --")
+            print(ab.format())
+
+    def test_modification_not_harmful_on_average(self, ablations):
+        gains = [
+            ab.relative_gain(d)
+            for ab in ablations.values()
+            for d in ("d1", "d2", "d3", "d4")
+        ]
+        assert float(np.mean(gains)) >= -0.05
+
+    def test_negligible_for_d3_d4(self, ablations):
+        for ab in ablations.values():
+            for d in ("d3", "d4"):
+                assert abs(ab.relative_gain(d)) <= 0.10
+
+    def test_benchmark_modified_run(self, runner, benchmark):
+        model = runner.model("art", "entropy")
+        benchmark(
+            lambda: agglomerative_clustering(
+                model, 10, get_distance("d1"), modified=True
+            )
+        )

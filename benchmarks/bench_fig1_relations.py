@@ -1,0 +1,81 @@
+"""Figure 1 — the interrelations of the five anonymization classes
+(DESIGN.md experiment id "Fig. 1").
+
+The figure is a Venn diagram, so the reproduction is combinatorial: we
+exhaustively enumerate all 64 local recodings of the Proposition 4.5
+table, classify each under all five notions, verify every inclusion of
+Propositions 4.5/4.7, and exhibit explicit witnesses for the strict
+regions (including the (k,k)-but-not-global attack instance and the
+global-but-not-(k,k) instance, which — a reproduction finding — only
+exists for k ≥ 3).
+
+The timed benchmark is the exhaustive census itself.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import banner
+from repro.core.notions import match_count_per_record
+from repro.core.relations import (
+    check_figure1,
+    classify,
+    enumerate_census,
+    global_not_kk_example,
+    kk_attack_example,
+    nodes_from_value_lists,
+    proposition_45_example,
+)
+from repro.tabular.encoding import EncodedTable
+
+
+class TestFigure1:
+    def test_census_and_print(self):
+        table, _ = proposition_45_example()
+        enc = EncodedTable(table)
+        census = enumerate_census(enc, k=2)
+        print(banner("FIGURE 1 — class membership census (Prop. 4.5 table, k=2)"))
+        print(f"{census.total} valid local recodings enumerated")
+        for key, count in sorted(census.counts.items(), key=lambda kv: -kv[1]):
+            label = "+".join(sorted(key)) if key else "(none)"
+            print(f"  {label:32s} {count:4d}")
+        assert check_figure1(census) == []
+        # Strict-inclusion witnesses from Proposition 4.5.
+        assert census.exists({"1k"}, {"k1"})
+        assert census.exists({"k1"}, {"1k"})
+        assert census.exists({"kk"}, {"k"})
+
+    def test_incomparability_witnesses(self):
+        print(banner("FIGURE 1 — (k,k) vs global (1,k) incomparability"))
+        table, gen = kk_attack_example()
+        enc = EncodedTable(table)
+        nodes = nodes_from_value_lists(enc, gen)
+        classes = classify(enc, nodes, 2)
+        matches = match_count_per_record(enc, nodes)
+        print(f"(2,2)-anonymized 6-record table: classes={sorted(classes)}, "
+              f"matches per record={matches.tolist()}")
+        assert "kk" in classes and "global-1k" not in classes
+
+        table3, gen3, k3 = global_not_kk_example()
+        enc3 = EncodedTable(table3)
+        nodes3 = nodes_from_value_lists(enc3, gen3)
+        classes3 = classify(enc3, nodes3, k3)
+        print(f"global (1,3) witness: classes={sorted(classes3)} (k={k3})")
+        assert "global-1k" in classes3 and "kk" not in classes3
+
+    def test_worked_example_classification(self):
+        table, gens = proposition_45_example()
+        enc = EncodedTable(table)
+        expected = {
+            "2-anon": {"k", "1k", "k1", "kk", "global-1k"},
+            "(1,2)-anon": {"1k"},
+            "(2,1)-anon": {"k1"},
+            "(2,2)-anon": {"1k", "k1", "kk", "global-1k"},
+        }
+        for name, rows in gens.items():
+            nodes = nodes_from_value_lists(enc, rows)
+            assert classify(enc, nodes, 2) == frozenset(expected[name]), name
+
+    def test_benchmark_census(self, benchmark):
+        table, _ = proposition_45_example()
+        enc = EncodedTable(table)
+        benchmark(lambda: enumerate_census(enc, k=2))

@@ -1,0 +1,47 @@
+"""Figure 3 — information loss vs k on Adult, LM measure
+(DESIGN.md experiment id "Fig. 3").
+
+Same series and assertions as Figure 2 under the LM measure, plus the
+LM-specific fact that all values stay within [0, 1] (LM is normalized
+per entry).
+
+The timed benchmark is one forest-baseline run on Adult under LM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import banner
+from repro.core.forest import forest_clustering
+from repro.experiments.figures import compute_figure
+
+
+@pytest.fixture(scope="module")
+def fig3(runner, table1_result):
+    return compute_figure(runner, "fig3")
+
+
+class TestFigure3:
+    def test_reproduce_and_print(self, fig3):
+        print(banner("FIGURE 3 — Adult / LM measure"))
+        print(fig3.chart())
+        print()
+        print(fig3.numbers())
+        assert fig3.monotone_violations() == []
+
+    def test_series_ordering(self, fig3):
+        block = fig3.block
+        for k in block.ks:
+            assert block.kk[k] <= block.best_k_anon[k] + 1e-9
+            assert block.best_k_anon[k] <= block.forest[k] + 1e-9
+
+    def test_lm_bounded_by_one(self, fig3):
+        block = fig3.block
+        for series in (block.best_k_anon, block.forest, block.kk):
+            for value in series.values():
+                assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_benchmark_forest_adult(self, runner, benchmark):
+        model = runner.model("adult", "lm")
+        benchmark(lambda: forest_clustering(model, 10))

@@ -1,0 +1,68 @@
+"""Experiment F1 — the ((1+ε)k, (1+ε)k) conjecture of Section VII.
+
+The paper's conclusions ask: does a (k,k)-anonymization — or a slightly
+over-provisioned ((1+ε)k, (1+ε)k) one — already satisfy global (1,k)?
+We sweep ε on all three datasets, print the match floors, and report
+the smallest sufficient ε.  No paper numbers exist to compare against
+(it was future work); the assertions capture the monotone structure of
+the experiment itself.
+
+The timed benchmark is one (k',k')-anonymization at the largest ε.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import banner
+from repro.core.kk import kk_anonymize
+from repro.extensions.epsilon_kk import epsilon_sweep
+
+EPSILONS = (0.0, 0.2, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def sweeps(runner):
+    return {
+        dataset: epsilon_sweep(
+            runner.model(dataset, "entropy"), k=5, epsilons=EPSILONS
+        )
+        for dataset in runner.config.datasets
+    }
+
+
+class TestEpsilonSweep:
+    def test_print(self, sweeps):
+        print(banner("F1 — ((1+ε)k,(1+ε)k) vs global (1,k), k=5, entropy"))
+        for dataset, sweep in sweeps.items():
+            eps = sweep.smallest_sufficient_epsilon()
+            print(f"\n{dataset}: smallest sufficient ε = {eps}")
+            for p in sweep.points:
+                print(
+                    f"  ε={p.epsilon:<4} k'={p.k_prime:<3} Π={p.cost:.4f} "
+                    f"min matches={p.min_matches:3d} "
+                    f"deficient={p.deficient_records}"
+                )
+
+    def test_match_floor_monotone_in_epsilon(self, sweeps):
+        for sweep in sweeps.values():
+            floors = [p.min_matches for p in sweep.points]
+            # Larger k' can only raise the worst-case matches (same
+            # pipeline, more neighbours); allow equality.
+            for a, b in zip(floors, floors[1:]):
+                assert b >= a - 1
+
+    def test_cost_monotone_in_epsilon(self, sweeps):
+        for sweep in sweeps.values():
+            costs = [p.cost for p in sweep.points]
+            for a, b in zip(costs, costs[1:]):
+                assert b >= a - 1e-9
+
+    def test_deficiency_shrinks(self, sweeps):
+        for sweep in sweeps.values():
+            first, last = sweep.points[0], sweep.points[-1]
+            assert last.deficient_records <= first.deficient_records
+
+    def test_benchmark_overprovisioned_kk(self, runner, benchmark):
+        model = runner.model("cmc", "entropy")
+        benchmark(lambda: kk_anonymize(model, 10))

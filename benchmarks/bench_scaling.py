@@ -1,0 +1,53 @@
+"""Performance scaling — the Section V complexity claims.
+
+The paper quotes O(n²) for the agglomerative algorithm and O(kn²) for
+the (k,1)/(1,k) pipeline.  This bench times the three main pipelines
+across a size sweep, fits log-log exponents, and asserts they stay
+polynomial of low degree (< 3), so any accidental cubic regression in
+the vectorized engines fails loudly.
+
+The timed benchmarks give pytest-benchmark one fixed-size sample of
+each pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import banner
+from repro.core.agglomerative import agglomerative_clustering
+from repro.core.distances import get_distance
+from repro.core.forest import forest_clustering
+from repro.core.kk import kk_anonymize
+from repro.experiments.scaling import scaling_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return scaling_sweep(dataset="adult", k=10, sizes=(150, 300, 600))
+
+
+class TestScaling:
+    def test_print(self, sweep):
+        print(banner("SCALING — wall-clock vs n (Adult, k=10, entropy)"))
+        print(sweep.format())
+
+    @pytest.mark.parametrize("algorithm", ["agglomerative", "forest", "kk"])
+    def test_polynomial_low_degree(self, sweep, algorithm):
+        exponent = sweep.exponent(algorithm)
+        assert exponent == exponent, "exponent must not be NaN"
+        assert exponent < 3.2, f"{algorithm} scales like n^{exponent:.2f}"
+
+    def test_benchmark_agglomerative(self, runner, benchmark):
+        model = runner.model("adult", "entropy")
+        benchmark(
+            lambda: agglomerative_clustering(model, 10, get_distance("d4"))
+        )
+
+    def test_benchmark_forest(self, runner, benchmark):
+        model = runner.model("adult", "entropy")
+        benchmark(lambda: forest_clustering(model, 10))
+
+    def test_benchmark_kk(self, runner, benchmark):
+        model = runner.model("cmc", "entropy")
+        benchmark(lambda: kk_anonymize(model, 10))

@@ -1,0 +1,55 @@
+"""Seed-stability study — the reproducibility backbone of EXPERIMENTS.md.
+
+Our ADT/CMC tables are synthetic samples, so the single numbers in
+Table I only mean something if they are stable across samples.  This
+bench re-runs the headline pipelines across five seeds per dataset and
+asserts (a) the headline ordering held in every single sample, and
+(b) the per-pipeline coefficient of variation stays small.
+
+The timed benchmark is one full seed-sweep iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import banner
+from repro.experiments.variance import variance_study
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+@pytest.fixture(scope="module")
+def studies():
+    return {
+        dataset: variance_study(dataset, k=10, n=300, seeds=SEEDS)
+        for dataset in ("art", "adult", "cmc")
+    }
+
+
+class TestVariance:
+    def test_print(self, studies):
+        print(banner("SEED STABILITY — headline pipelines over 5 seeds"))
+        for study in studies.values():
+            print()
+            print(study.format())
+
+    def test_ordering_holds_every_sample(self, studies):
+        for dataset, study in studies.items():
+            assert study.always_ordered(), (
+                f"{dataset}: ordering broke in some sample "
+                f"({study.ordering_held})"
+            )
+
+    def test_low_variance(self, studies):
+        for dataset, study in studies.items():
+            for pipeline in study.summaries:
+                cv = study.relative_std(pipeline)
+                assert cv <= 0.12, (
+                    f"{dataset}/{pipeline}: coefficient of variation {cv:.1%}"
+                )
+
+    def test_benchmark_one_sweep_iteration(self, benchmark):
+        benchmark(
+            lambda: variance_study("art", k=10, n=150, seeds=(0,))
+        )

@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench file regenerates one of the paper's tables/figures (see
+DESIGN.md §4) and prints the reproduced artifact next to the paper's
+numbers.  A session-scoped :class:`ExperimentRunner` memoizes algorithm
+runs, so e.g. Figures 2–3 reuse the Table I computations.
+
+Scale knobs (see repro/experiments/configs.py):
+
+* default — ART/ADT/CMC at 400 records each (minutes, laptop-friendly);
+* ``REPRO_BENCH_N=<n>`` — force all datasets to n records;
+* ``REPRO_FULL=1`` — the paper's sizes (ART 1000, ADT 5000, CMC 1500).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+
+
+def banner(title: str) -> str:
+    """A visually distinct header for the printed artifacts."""
+    rule = "=" * max(64, len(title) + 4)
+    return f"\n{rule}\n  {title}\n{rule}"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared runner (and run cache) for the whole bench session."""
+    return ExperimentRunner(ExperimentConfig())
+
+
+@pytest.fixture(scope="session")
+def table1_result(runner):
+    """Table I, computed once and shared by every bench that needs it."""
+    from repro.experiments.table1 import compute_table1
+
+    return compute_table1(runner)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Reenact the Section IV-A attacks that motivate the paper's notions.
+
+Attack 1 — the suppressed tail.  A (1,k)-anonymization with near-zero
+information loss that fully re-identifies most of the table: publish
+n−k records untouched and suppress the last k entirely.  Adversary 1's
+*reverse* linkage (published record → consistent individuals) breaks it.
+
+Attack 2 — match pruning.  A (k,k)-anonymization with every record
+linked to ≥ k neighbours, where adversary 2 (who knows the exact
+database population) prunes neighbours down to *matches* and gets below
+k.  Algorithm 6 repairs it.
+
+    python examples/adversary_audit.py
+"""
+
+from repro.core.global_1k import global_one_k_anonymize
+from repro.core.notions import is_one_k_anonymous
+from repro.core.relations import kk_attack_example, nodes_from_value_lists
+from repro.datasets import load
+from repro.measures import CostModel, EntropyMeasure, LMMeasure
+from repro.privacy.adversary import Adversary1, Adversary2
+from repro.privacy.attacks import (
+    matching_attack,
+    reverse_linkage_attack,
+    suppressed_tail_generalization,
+)
+from repro.tabular.encoding import EncodedTable
+
+K = 5
+
+# ---------------------------------------------------------------------- #
+# Attack 1: (1,k) alone is worthless.
+# ---------------------------------------------------------------------- #
+print("=" * 68)
+print("ATTACK 1 — the suppressed-tail (1,k) counterexample")
+print("=" * 68)
+
+table = load("art", n=100, seed=1, private=True)
+enc = EncodedTable(table)
+model = CostModel(enc, EntropyMeasure())
+
+nodes = suppressed_tail_generalization(enc, K)
+assert is_one_k_anonymous(enc, nodes, K)
+print(f"release is (1,{K})-anonymous; information loss "
+      f"Π_E = {model.table_cost(nodes):.4f} bits/entry (tiny!)")
+
+findings = reverse_linkage_attack(enc, nodes)
+print(f"adversary 1 re-identifies {len(findings)} of {enc.num_records} "
+      "records by reverse linkage:")
+for f in findings[:3]:
+    diagnosis = table.private_rows[f.original_index][0]
+    print(f"  published record {f.generalized_index} belongs to individual "
+          f"{f.original_index} -> private value revealed: {diagnosis!r}")
+print("  ...")
+print("conclusion: (1,k) alone fails exactly as Section IV-A predicts.\n")
+
+# ---------------------------------------------------------------------- #
+# Attack 2: adversary 2 vs (k,k).
+# ---------------------------------------------------------------------- #
+print("=" * 68)
+print("ATTACK 2 — match pruning on a (2,2)-anonymized table")
+print("=" * 68)
+
+attack_table, gen_rows = kk_attack_example()
+attack_enc = EncodedTable(attack_table)
+attack_nodes = nodes_from_value_lists(attack_enc, gen_rows)
+
+adv1 = Adversary1().attack(attack_enc, attack_nodes)
+adv2 = Adversary2().attack(attack_enc, attack_nodes)
+print("record | value | neighbours (adv 1) | matches (adv 2)")
+for i in range(attack_enc.num_records):
+    print(f"   {i}   |   {attack_table.row(i)[0]}   |"
+          f"         {len(adv1.candidates[i])}          |"
+          f"       {len(adv2.candidates[i])}")
+
+report = matching_attack(attack_enc, attack_nodes, k=2)
+assert report.succeeded
+print(f"\nadversary 2 narrows records {sorted(report.victims)} below k=2 "
+      "candidates — the (k,k) guarantee is gone.")
+
+# Repair with Algorithm 6.
+attack_model = CostModel(attack_enc, LMMeasure())
+fixed, stats = global_one_k_anonymize(attack_model, attack_nodes, 2)
+after = matching_attack(attack_enc, fixed, k=2)
+print(f"\nAlgorithm 6 applied: {stats.fixes} fix step(s), "
+      f"{stats.passes} pass(es)")
+print(f"attack after repair: "
+      f"{'succeeded' if after.succeeded else 'DEFEATED'} "
+      f"(Π_LM {attack_model.table_cost(attack_nodes):.3f} -> "
+      f"{attack_model.table_cost(fixed):.3f})")
+assert not after.succeeded

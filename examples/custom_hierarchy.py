@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Bring your own data: schema definition, CSV round-trip, and the CLI.
+
+Shows the workflow a downstream user follows for their own microdata:
+define attributes and generalization hierarchies in code, save the
+self-describing schema JSON, write the data as CSV, anonymize both
+through the Python API and the equivalent `repro-anon` CLI invocation,
+and compare the notions' costs on *your* hierarchy design:
+
+    python examples/custom_hierarchy.py
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Attribute, Schema, SubsetCollection, Table, anonymize
+from repro.tabular import (
+    from_groups,
+    integer_attribute,
+    interval_hierarchy,
+    write_schema_json,
+    write_table_csv,
+)
+
+# ---------------------------------------------------------------------- #
+# 1. An HR-style schema: role, seniority, office, salary band.
+# ---------------------------------------------------------------------- #
+
+role = Attribute(
+    "role",
+    ["swe", "sre", "data-scientist", "pm", "designer", "sales", "support"],
+)
+role_hierarchy = from_groups(
+    role,
+    [["swe", "sre", "data-scientist"],  # engineering
+     ["pm", "designer"],                # product
+     ["sales", "support"]],             # go-to-market
+)
+
+years = integer_attribute("years-at-company", 0, 19)
+years_hierarchy = interval_hierarchy(years, 2, 4, 8)
+
+office = Attribute("office", ["ber", "muc", "ams", "par", "lis", "mad"])
+office_hierarchy = from_groups(
+    office, [["ber", "muc"], ["ams", "par"], ["lis", "mad"]]
+)
+
+schema = Schema(
+    [role_hierarchy, years_hierarchy, office_hierarchy],
+    private_attributes=("salary-band",),
+)
+
+# 2. Synthesize 150 employees (any CSV with these columns works too).
+rng = np.random.default_rng(99)
+roles = list(role.values)
+offices = list(office.values)
+rows = [
+    (
+        roles[rng.integers(0, len(roles))],
+        str(rng.integers(0, 20)),
+        offices[rng.integers(0, len(offices))],
+    )
+    for _ in range(150)
+]
+bands = [(f"B{rng.integers(1, 6)}",) for _ in range(150)]
+table = Table(schema, rows, bands)
+
+out = Path(tempfile.mkdtemp(prefix="custom_hierarchy_"))
+write_schema_json(schema, out / "schema.json")
+write_table_csv(table, out / "employees.csv")
+print(f"wrote {out / 'schema.json'} and {out / 'employees.csv'}")
+
+# 3. Compare every notion on this hierarchy design.
+print("\nnotion        loss Π_E   loss Π_LM")
+for notion in ("k", "k1", "kk", "global-1k"):
+    em = anonymize(table, k=6, notion=notion, measure="entropy")
+    lm = anonymize(table, k=6, notion=notion, measure="lm")
+    print(f"{notion:12s}  {em.cost:8.4f}   {lm.cost:8.4f}")
+
+# 4. The same anonymization through the CLI, from the written files.
+cli = [
+    sys.executable, "-m", "repro", "anonymize",
+    "--input", str(out / "employees.csv"),
+    "--schema", str(out / "schema.json"),
+    "--k", "6", "--notion", "kk",
+    "--out", str(out / "release.csv"),
+]
+print("\nrunning:", " ".join(cli[3:]))
+completed = subprocess.run(cli, capture_output=True, text=True)
+print(completed.stdout.strip())
+assert completed.returncode == 0, completed.stderr
+
+print(f"\nrelease written by the CLI: {out / 'release.csv'}")
+print("first rows of the release:")
+for line in (out / "release.csv").read_text().splitlines()[:4]:
+    print("  " + line)

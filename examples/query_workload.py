@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""What does "higher utility" buy an analyst?  Answering COUNT queries.
+
+Information-loss measures are proxies; the operational question is how
+accurately the published table answers real queries.  This example
+anonymizes the Adult-like table under several methods, runs one shared
+workload of conjunctive COUNT queries against each release with the
+uniform-spread estimator, and shows that the paper's relaxed
+(k,k)-anonymity translates into measurably better answers:
+
+    python examples/query_workload.py [n] [k]
+"""
+
+import sys
+
+from repro import anonymize
+from repro.datasets import load
+from repro.tabular import EncodedTable
+from repro.utility import (
+    compare_releases,
+    evaluate_estimated,
+    evaluate_exact,
+    random_workload,
+)
+
+n = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+k = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+
+table = load("adult", n=n, seed=5)
+enc = EncodedTable(table)
+
+print(f"anonymizing {n} records at k={k} under three methods ...")
+releases = {}
+for label, notion, kwargs in [
+    ("k-anonymity (agglomerative)", "k", {}),
+    ("k-anonymity (forest baseline)", "k", {"algorithm": "forest"}),
+    ("(k,k)-anonymity", "kk", {}),
+]:
+    result = anonymize(table, k=k, notion=notion, encoded=enc, **kwargs)
+    releases[label] = result.node_matrix
+    print(f"  {label:32s} Π_E = {result.cost:.4f}")
+
+# One shared workload: 200 conjunctive COUNT queries over 2 attributes.
+workload = random_workload(enc, num_queries=200, arity=2, seed=11)
+comparison = compare_releases(enc, releases, workload=workload)
+
+print()
+print(comparison.format())
+best = comparison.ranking()[0]
+print(f"\nmost useful release: {best}")
+
+# Zoom into three concrete queries.
+print("\nexample queries (true answer vs estimate per release):")
+for query in workload[:3]:
+    truth = evaluate_exact(enc, query)
+    print(f"\n  {query.describe(enc)}")
+    print(f"    true answer: {truth}")
+    for label, nodes in releases.items():
+        estimate = evaluate_estimated(enc, nodes, query)
+        print(f"    {label:32s} ≈ {estimate:7.1f}")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: anonymize a tiny patient table under every k-type notion.
+
+Builds a 12-record table by hand (ages, ZIP codes, diagnosis), defines
+generalization hierarchies, and shows how each anonymity notion of the
+paper trades privacy for utility:
+
+    python examples/quickstart.py
+"""
+
+from repro import Attribute, Schema, SubsetCollection, Table, anonymize
+from repro.tabular import integer_attribute, interval_hierarchy
+
+# ---------------------------------------------------------------------- #
+# 1. Define the schema: public attributes + how they may be generalized.
+# ---------------------------------------------------------------------- #
+
+age = integer_attribute("age", 25, 48)
+age_bands = interval_hierarchy(age, 5, 10)  # 5-year and 10-year bands
+
+zipcode = Attribute("zip", ["68421", "68422", "68423", "68431", "68432"])
+zip_areas = SubsetCollection(
+    zipcode,
+    [
+        ["68421", "68422", "68423"],  # district 6842*
+        ["68431", "68432"],           # district 6843*
+    ],
+)
+
+schema = Schema([age_bands, zip_areas], private_attributes=("diagnosis",))
+
+# ---------------------------------------------------------------------- #
+# 2. The microdata: 12 patients.
+# ---------------------------------------------------------------------- #
+
+rows = [
+    ("25", "68421"), ("27", "68422"), ("28", "68421"), ("29", "68423"),
+    ("33", "68431"), ("34", "68432"), ("35", "68431"), ("36", "68432"),
+    ("41", "68421"), ("43", "68422"), ("45", "68431"), ("48", "68432"),
+]
+diagnoses = [
+    ("flu",), ("asthma",), ("flu",), ("diabetes",),
+    ("flu",), ("migraine",), ("asthma",), ("flu",),
+    ("diabetes",), ("flu",), ("migraine",), ("asthma",),
+]
+table = Table(schema, rows, diagnoses)
+
+# ---------------------------------------------------------------------- #
+# 3. Anonymize under each notion and compare utility.
+# ---------------------------------------------------------------------- #
+
+
+def show(result):
+    print(f"\n--- {result.notion} (algorithm: {result.algorithm}) ---")
+    print(f"information loss Π_E = {result.cost:.4f} bits/entry")
+    for original, published in zip(rows, result.generalized.labels()):
+        print(f"  {str(original):22s} -> {published}")
+
+
+K = 4
+print(f"Anonymizing {table.num_records} records with k = {K}")
+
+classic = anonymize(table, k=K, notion="k", measure="entropy")
+relaxed = anonymize(table, k=K, notion="kk", measure="entropy")
+globally_safe = anonymize(table, k=K, notion="global-1k", measure="entropy")
+
+show(classic)
+show(relaxed)
+show(globally_safe)
+
+print("\nSummary (lower is better utility-wise):")
+print(f"  k-anonymity        : {classic.cost:.4f}")
+print(f"  (k,k)-anonymity    : {relaxed.cost:.4f}   "
+      f"({1 - relaxed.cost / classic.cost:+.0%} vs k-anonymity)")
+print(f"  global (1,k)       : {globally_safe.cost:.4f}")
+
+# Every result self-verifies against its notion:
+assert classic.verify() and relaxed.verify() and globally_safe.verify()
+print("\nall three releases verified against their anonymity notions ✓")

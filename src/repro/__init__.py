@@ -1,0 +1,66 @@
+"""repro — a reproduction of "k-Anonymization Revisited" (ICDE 2008).
+
+The library implements the paper's relaxed k-type anonymity notions —
+(1,k), (k,1), (k,k) and global (1,k) — together with classical
+k-anonymity, the agglomerative anonymization algorithms of Section V,
+the forest baseline of Aggarwal et al., the entropy/LM information-loss
+measures, the evaluation datasets, and the full experimental harness
+that regenerates the paper's Table I and Figures 1–3.
+
+Quickstart::
+
+    from repro import anonymize
+    from repro.datasets import load
+
+    table = load("adult", n=1000, seed=7)
+    result = anonymize(table, k=10, notion="kk", measure="entropy")
+    print(result.cost)                 # information loss, bits/entry
+    print(result.generalized.labels()[:3])
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core.api import AnonymizationResult, anonymize
+from repro.errors import (
+    AnonymityError,
+    ClosureError,
+    DatasetError,
+    ExperimentError,
+    MatchingError,
+    ReproError,
+    SchemaError,
+)
+from repro.measures import CostModel, get_measure
+from repro.tabular import (
+    Attribute,
+    EncodedTable,
+    GeneralizedRecord,
+    GeneralizedTable,
+    Schema,
+    SubsetCollection,
+    Table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "anonymize",
+    "AnonymizationResult",
+    "Attribute",
+    "SubsetCollection",
+    "Schema",
+    "Table",
+    "GeneralizedRecord",
+    "GeneralizedTable",
+    "EncodedTable",
+    "CostModel",
+    "get_measure",
+    "ReproError",
+    "SchemaError",
+    "ClosureError",
+    "AnonymityError",
+    "MatchingError",
+    "DatasetError",
+    "ExperimentError",
+    "__version__",
+]

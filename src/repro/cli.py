@@ -1,0 +1,347 @@
+"""Command-line interface: ``repro-anon`` (or ``python -m repro``).
+
+Subcommands
+-----------
+* ``datasets`` — list the built-in datasets and their paper sizes.
+* ``anonymize`` — anonymize a built-in dataset or a CSV file and write
+  the release (plus its self-describing schema JSON).
+* ``audit`` — re-audit a written release against both adversaries.
+* ``utility`` — COUNT-query utility comparison of k / forest / (k,k)
+  releases on a built-in dataset.
+* ``experiment`` — run one of the paper's experiments
+  (``table1``, ``fig1``, ``fig2``, ``fig3``, ``ablations``,
+  ``global1k``, ``scaling``, ``epsilon``, or ``all`` for the complete
+  reproduction report) and print it.
+
+Examples
+--------
+::
+
+    repro-anon anonymize --dataset adult --n 500 --k 10 --notion kk \
+        --out release.csv --schema-out schema.json
+    repro-anon audit --schema schema.json --table original.csv \
+        --release release.csv --k 10
+    repro-anon experiment table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.api import anonymize
+from repro.datasets.registry import dataset_names, default_size, load
+from repro.errors import ReproError
+from repro.tabular.encoding import EncodedTable
+from repro.tabular.io import (
+    read_generalized_csv,
+    read_schema_json,
+    read_table_csv,
+    write_generalized_csv,
+    write_schema_json,
+    write_table_csv,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-anon",
+        description="k-Anonymization Revisited (ICDE 2008) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets_cmd = sub.add_parser("datasets", help="list built-in datasets")
+    datasets_cmd.add_argument(
+        "--verbose", action="store_true",
+        help="describe every attribute, hierarchy and value distribution",
+    )
+
+    anon = sub.add_parser("anonymize", help="anonymize a dataset or CSV")
+    anon.add_argument("--dataset", choices=dataset_names(), help="built-in dataset")
+    anon.add_argument("--input", help="CSV file (requires --schema)")
+    anon.add_argument("--schema", help="schema JSON for --input")
+    anon.add_argument("--n", type=int, help="records to sample (built-in datasets)")
+    anon.add_argument("--seed", type=int, default=0, help="sampling seed")
+    anon.add_argument("--k", type=int, required=True, help="anonymity parameter")
+    anon.add_argument(
+        "--notion",
+        default="kk",
+        choices=["k", "1k", "k1", "kk", "global-1k"],
+        help="anonymity notion (default kk)",
+    )
+    anon.add_argument(
+        "--measure", default="entropy", help="loss measure (entropy, lm, tree)"
+    )
+    anon.add_argument(
+        "--algorithm", default=None, help="for notion=k: agglomerative, forest, mondrian or datafly"
+    )
+    anon.add_argument(
+        "--distance", default="d3", help="agglomerative distance (d1..d4, nc)"
+    )
+    anon.add_argument(
+        "--modified", action="store_true", help="use the modified agglomerative"
+    )
+    anon.add_argument(
+        "--expander",
+        default="expansion",
+        choices=["expansion", "nearest"],
+        help="(k,1) stage (Algorithm 4 or 3)",
+    )
+    anon.add_argument("--out", help="output CSV for the release")
+    anon.add_argument("--schema-out", help="also write the schema JSON here")
+    anon.add_argument("--table-out", help="also write the original table CSV here")
+    anon.add_argument(
+        "--bundle-out",
+        help="write a self-describing release bundle directory "
+        "(release.csv + schema.json + manifest.json with risk summary)",
+    )
+
+    utility = sub.add_parser(
+        "utility", help="COUNT-query utility comparison on a dataset"
+    )
+    utility.add_argument("--dataset", choices=dataset_names(), default="adult")
+    utility.add_argument("--n", type=int, default=400)
+    utility.add_argument("--k", type=int, default=10)
+    utility.add_argument("--queries", type=int, default=150)
+    utility.add_argument("--seed", type=int, default=0)
+
+    audit = sub.add_parser("audit", help="audit a written release")
+    audit.add_argument("--schema", required=True, help="schema JSON")
+    audit.add_argument("--table", required=True, help="original table CSV")
+    audit.add_argument("--release", required=True, help="generalized release CSV")
+    audit.add_argument("--k", type=int, required=True, help="claimed k")
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument(
+        "name",
+        choices=[
+            "table1", "fig1", "fig2", "fig3", "ablations",
+            "global1k", "scaling", "epsilon", "all",
+        ],
+    )
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--out", help="for 'all': also write the report to this file"
+    )
+    return parser
+
+
+def _load_input(args: argparse.Namespace):
+    if args.dataset and args.input:
+        raise ReproError("give either --dataset or --input, not both")
+    if args.dataset:
+        n = args.n if args.n is not None else default_size(args.dataset)
+        return load(args.dataset, n=n, seed=args.seed, private=False)
+    if args.input:
+        if not args.schema:
+            raise ReproError("--input requires --schema")
+        schema = read_schema_json(args.schema)
+        return read_table_csv(schema, args.input)
+    raise ReproError("give --dataset or --input")
+
+
+def _cmd_datasets(verbose: bool = False) -> int:
+    if verbose:
+        from repro.datasets.describe import describe_dataset
+
+        for name in dataset_names():
+            print(describe_dataset(name))
+            print()
+        return 0
+    for name in dataset_names():
+        print(f"{name:8s} paper size n = {default_size(name)}")
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    if not args.out and not args.bundle_out:
+        raise ReproError("give --out and/or --bundle-out")
+    table = _load_input(args)
+    result = anonymize(
+        table,
+        k=args.k,
+        notion=args.notion,
+        measure=args.measure,
+        algorithm=args.algorithm,
+        distance=args.distance,
+        modified=args.modified,
+        expander=args.expander,
+    )
+    if args.out:
+        write_generalized_csv(result.generalized, args.out)
+        print(
+            f"wrote {args.out}: n={table.num_records}, notion={result.notion}, "
+            f"k={args.k}, algorithm={result.algorithm}"
+        )
+    if args.schema_out:
+        write_schema_json(table.schema, args.schema_out)
+    if args.table_out:
+        write_table_csv(table, args.table_out)
+    if args.bundle_out:
+        from repro.privacy.bundle import save_release
+
+        directory = save_release(result, args.bundle_out)
+        print(f"wrote release bundle {directory}")
+    print(
+        f"information loss Π_{result.measure} = {result.cost:.4f} "
+        f"({result.elapsed_seconds:.2f}s)"
+    )
+    return 0
+
+
+def _cmd_utility(args: argparse.Namespace) -> int:
+    from repro.utility import compare_releases
+
+    table = load(args.dataset, n=args.n, seed=args.seed)
+    enc = EncodedTable(table)
+    releases = {}
+    for label, notion, kwargs in (
+        ("k-anonymity", "k", {}),
+        ("forest", "k", {"algorithm": "forest"}),
+        ("(k,k)-anonymity", "kk", {}),
+    ):
+        result = anonymize(table, k=args.k, notion=notion, encoded=enc, **kwargs)
+        releases[label] = result.node_matrix
+    comparison = compare_releases(
+        enc, releases, num_queries=args.queries, arity=2, seed=args.seed
+    )
+    print(
+        f"{args.dataset}, n={args.n}, k={args.k}: query-answering utility"
+    )
+    print(comparison.format())
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.privacy.audit import audit_release
+
+    schema = read_schema_json(args.schema)
+    table = read_table_csv(schema, args.table)
+    release = read_generalized_csv(schema, args.release)
+    audit = audit_release(table, release, k=args.k)
+    print(audit.format_report())
+    return 0 if audit.safe_against_adversary1() else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.configs import ExperimentConfig
+    from repro.experiments.runner import ExperimentRunner
+
+    config = ExperimentConfig(seed=args.seed)
+    runner = ExperimentRunner(config)
+    name = args.name
+    if name == "all":
+        from repro.experiments.full_report import generate_full_report
+
+        report = generate_full_report(runner)
+        print(report)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(report)
+            print(f"report written to {args.out}")
+        return 0
+    if name == "table1":
+        from repro.experiments.table1 import compute_table1
+
+        result = compute_table1(runner)
+        print(result.format())
+        print()
+        print(result.improvement_summary())
+        violations = result.shape_violations()
+        if violations:
+            print("\nSHAPE VIOLATIONS:")
+            print("\n".join(violations))
+            return 1
+    elif name in ("fig2", "fig3"):
+        from repro.experiments.figures import compute_figure
+
+        fig = compute_figure(runner, name)
+        print(fig.chart())
+        print()
+        print(fig.numbers())
+    elif name == "fig1":
+        from repro.core.relations import (
+            check_figure1,
+            enumerate_census,
+            proposition_45_example,
+        )
+
+        table, _ = proposition_45_example()
+        census = enumerate_census(EncodedTable(table), k=2)
+        print(f"enumerated {census.total} generalizations of the "
+              "Proposition 4.5 table (k=2)")
+        for key, count in sorted(census.counts.items(), key=lambda kv: -kv[1]):
+            label = "+".join(sorted(key)) if key else "(none)"
+            print(f"  {label:30s} {count}")
+        problems = check_figure1(census)
+        print("Figure 1 inclusions:", "OK" if not problems else problems)
+    elif name == "ablations":
+        from repro.experiments.ablations import (
+            coupling_ablation,
+            distance_ablation,
+            join_target_ablation,
+            modified_ablation,
+        )
+
+        for dataset in runner.config.datasets:
+            for measure in runner.config.measures:
+                print(f"== {dataset} / {measure} ==")
+                print(distance_ablation(runner, dataset, measure).format())
+                print(coupling_ablation(runner, dataset, measure).format())
+                print(modified_ablation(runner, dataset, measure).format())
+                print(join_target_ablation(runner, dataset, measure).format())
+                print()
+    elif name == "global1k":
+        from repro.experiments.global1k import (
+            format_conversion,
+            global_conversion_experiment,
+        )
+
+        points = []
+        for dataset in runner.config.datasets:
+            points.extend(
+                global_conversion_experiment(runner, dataset, "entropy")
+            )
+        print(format_conversion(points))
+    elif name == "scaling":
+        from repro.experiments.scaling import scaling_sweep
+
+        print(scaling_sweep().format())
+    elif name == "epsilon":
+        from repro.extensions.epsilon_kk import epsilon_sweep
+
+        for dataset in runner.config.datasets:
+            model = runner.model(dataset, "entropy")
+            sweep = epsilon_sweep(model, k=10)
+            eps = sweep.smallest_sufficient_epsilon()
+            print(f"{dataset}: smallest sufficient ε = {eps}")
+            for p in sweep.points:
+                print(
+                    f"  ε={p.epsilon:<4} k'={p.k_prime:<3} Π={p.cost:.4f} "
+                    f"min matches={p.min_matches} deficient={p.deficient_records}"
+                )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets(verbose=args.verbose)
+        if args.command == "anonymize":
+            return _cmd_anonymize(args)
+        if args.command == "utility":
+            return _cmd_utility(args)
+        if args.command == "audit":
+            return _cmd_audit(args)
+        return _cmd_experiment(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

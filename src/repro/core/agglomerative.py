@@ -1,0 +1,285 @@
+"""The agglomerative k-anonymization algorithms (Section V-A.1).
+
+:func:`agglomerative_clustering` implements Algorithm 1 — start from
+singleton clusters, repeatedly unify the two closest clusters, and move
+clusters to the output once they reach size k — and, with
+``modified=True``, Algorithm 2's refinement: before a ripe cluster is
+finalized it is shrunk back to exactly k records, expelling the members
+whose removal leaves the cheapest sub-cluster, which re-enter the pool as
+singletons.
+
+The paper's O(n²) bound is achieved by maintaining a full pairwise
+distance matrix plus per-row minima: each merge recomputes one row of
+distances (vectorized via the per-attribute join/cost tables) and rescans
+only the rows whose cached nearest neighbour was invalidated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.core.distances import ClusterDistance
+from repro.errors import AnonymityError
+from repro.measures.base import CostModel
+
+
+class _Engine:
+    """Mutable state for one run of Algorithm 1/2."""
+
+    def __init__(self, model: CostModel, distance: ClusterDistance, k: int) -> None:
+        enc = model.enc
+        n, r = enc.num_records, enc.num_attributes
+        self.enc = enc
+        self.model = model
+        self.distance = distance
+        self.k = k
+
+        # Slot arrays.  At most n clusters are ever alive at once, so n
+        # slots suffice; slots freed by merges are recycled for the
+        # singletons Algorithm 2 expels.
+        self.nodes = enc.singleton_nodes.copy()  # [n, r] closure nodes
+        self.sizes = np.ones(n, dtype=np.int64)
+        self.costs = np.zeros(n, dtype=np.float64)
+        self.members: list[list[int] | None] = [[i] for i in range(n)]
+        self.active = np.ones(n, dtype=bool)
+        self.free_slots: list[int] = []
+
+        self.matrix = np.full((n, n), np.inf, dtype=np.float64)
+        self.row_min = np.full(n, np.inf, dtype=np.float64)
+        self.row_arg = np.zeros(n, dtype=np.int64)
+
+        self.output: list[list[int]] = []
+        self._init_matrix()
+
+    # ------------------------------------------------------------------ #
+    # distance bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _init_matrix(self) -> None:
+        """All-pairs singleton distances, one broadcast per attribute."""
+        enc, model = self.enc, self.model
+        n = enc.num_records
+        cost_union = np.zeros((n, n), dtype=np.float64)
+        col = self.nodes
+        for j, att in enumerate(enc.attrs):
+            joined = att.join[col[:, None, j], col[None, :, j]]
+            cost_union += model.node_costs[j][joined]
+        cost_union /= enc.num_attributes
+        dist = self.distance.evaluate(
+            self.sizes[:, None],
+            self.costs[:, None],
+            self.sizes[None, :],
+            self.costs[None, :],
+            cost_union,
+        )
+        dist = np.asarray(dist, dtype=np.float64)
+        np.fill_diagonal(dist, np.inf)
+        self.matrix = dist
+        self.row_min = dist.min(axis=1)
+        self.row_arg = dist.argmin(axis=1)
+
+    def _distances_from(self, x: int) -> np.ndarray:
+        """Distance of cluster x to every slot (inf for inactive / self)."""
+        enc, model = self.enc, self.model
+        union = enc.join_rows(self.nodes, self.nodes[x])
+        cost_union = model.record_cost(union)
+        dist = self.distance.evaluate(
+            self.sizes[x], self.costs[x], self.sizes, self.costs, cost_union
+        )
+        dist = np.asarray(dist, dtype=np.float64).copy()
+        dist[~self.active] = np.inf
+        dist[x] = np.inf
+        return dist
+
+    def _refresh_row(self, x: int) -> None:
+        """Recompute row/column x of the matrix and repair row minima."""
+        dist = self._distances_from(x)
+        self.matrix[x, :] = dist
+        self.matrix[:, x] = dist
+        self.row_min[x] = dist.min()
+        self.row_arg[x] = int(dist.argmin())
+        # Other rows may now have a closer neighbour at x.
+        better = dist < self.row_min
+        better[x] = False
+        self.row_min[better] = dist[better]
+        self.row_arg[better] = x
+
+    def _deactivate(self, x: int) -> None:
+        self.active[x] = False
+        self.matrix[x, :] = np.inf
+        self.matrix[:, x] = np.inf
+        self.row_min[x] = np.inf
+        self.free_slots.append(x)
+
+    def _rescan_row(self, x: int) -> None:
+        """Recompute row x's cached minimum from the matrix."""
+        row = self.matrix[x]
+        self.row_min[x] = row.min()
+        self.row_arg[x] = int(row.argmin())
+
+    def _pop_closest_pair(self) -> tuple[int, int] | None:
+        """The true closest active pair, via lazy staleness validation.
+
+        ``row_min`` entries are never stale-high (every improvement is
+        pushed eagerly by ``_refresh_row``), but they can be stale-low
+        when the cached partner died or changed.  Instead of rescanning
+        every affected row per merge, a cached minimum is validated only
+        when it is about to win the global argmin — the classic lazy
+        scheme that keeps the engine at the paper's O(n²).
+        """
+        while True:
+            x = int(np.argmin(self.row_min))
+            best = self.row_min[x]
+            if not np.isfinite(best):
+                return None
+            y = int(self.row_arg[x])
+            if self.active[y] and self.matrix[x, y] == best:
+                return x, y
+            self._rescan_row(x)
+
+    def _add_singleton(self, record: int) -> None:
+        """Re-insert an expelled record as a fresh singleton cluster."""
+        slot = self.free_slots.pop()
+        self.nodes[slot] = self.enc.singleton_nodes[record]
+        self.sizes[slot] = 1
+        self.costs[slot] = 0.0
+        self.members[slot] = [record]
+        self.active[slot] = True
+        self._refresh_row(slot)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2: shrink a ripe cluster back to size k
+    # ------------------------------------------------------------------ #
+
+    def _shrink(self, member_list: list[int]) -> tuple[list[int], list[int]]:
+        """Return (kept members of size k, expelled members)."""
+        enc, model, distance = self.enc, self.model, self.distance
+        kept = list(member_list)
+        expelled: list[int] = []
+        while len(kept) > self.k:
+            size = len(kept)
+            closure = enc.closure_of_records(kept)
+            cost_full = float(model.record_cost(closure))
+            best_i, best_d = 0, -np.inf
+            for i in range(size):
+                rest = kept[:i] + kept[i + 1 :]
+                cost_rest = model.cluster_cost(rest)
+                # dist(Ŝ, Ŝ \ {R̂_i}): the union of the two sets is Ŝ itself.
+                d_i = float(
+                    self.distance.evaluate(
+                        size, cost_full, size - 1, cost_rest, cost_full
+                    )
+                )
+                if d_i > best_d:
+                    best_i, best_d = i, d_i
+            expelled.append(kept.pop(best_i))
+        return kept, expelled
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, modified: bool) -> Clustering:
+        k = self.k
+        while int(self.active.sum()) > 1:
+            pair = self._pop_closest_pair()
+            if pair is None:
+                break  # no finite pair left (cannot happen with >1 active)
+            x, y = pair
+
+            merged = self.members[x] + self.members[y]  # type: ignore[operator]
+            self.members[y] = None
+            self._deactivate(y)
+
+            if len(merged) >= k:
+                if modified and len(merged) > k:
+                    merged, expelled = self._shrink(merged)
+                else:
+                    expelled = []
+                self.output.append(merged)
+                self.members[x] = None
+                self._deactivate(x)
+                for record in expelled:
+                    self._add_singleton(record)
+            else:
+                self.members[x] = merged
+                self.nodes[x] = self.enc.closure_of_records(merged)
+                self.sizes[x] = len(merged)
+                self.costs[x] = float(self.model.record_cost(self.nodes[x]))
+                self._refresh_row(x)
+
+        # Line 10: distribute the members of the at-most-one leftover
+        # cluster (size < k) to their closest output clusters.
+        leftover_slots = np.flatnonzero(self.active)
+        if leftover_slots.size:
+            slot = int(leftover_slots[0])
+            leftover = self.members[slot] or []
+            self._distribute_leftover(leftover)
+        return Clustering(self.enc.num_records, self.output)
+
+    def _distribute_leftover(self, leftover: list[int]) -> None:
+        enc, model = self.enc, self.model
+        if not leftover:
+            return
+        if not self.output:
+            raise AnonymityError(
+                "internal error: leftover records but no finished clusters"
+            )
+        out_nodes = np.array(
+            [enc.closure_of_records(c) for c in self.output], dtype=np.int32
+        )
+        out_sizes = np.array([len(c) for c in self.output], dtype=np.int64)
+        out_costs = np.asarray(model.record_cost(out_nodes), dtype=np.float64)
+        for record in leftover:
+            single = enc.singleton_nodes[record]
+            union = enc.join_rows(out_nodes, single)
+            cost_union = np.asarray(model.record_cost(union), dtype=np.float64)
+            dist = self.distance.evaluate(
+                1, 0.0, out_sizes, out_costs, cost_union
+            )
+            target = int(np.asarray(dist).argmin())
+            self.output[target].append(record)
+            out_nodes[target] = union[target]
+            out_sizes[target] += 1
+            out_costs[target] = cost_union[target]
+
+
+def agglomerative_clustering(
+    model: CostModel,
+    k: int,
+    distance: ClusterDistance,
+    modified: bool = False,
+) -> Clustering:
+    """Run Algorithm 1 (or, with ``modified=True``, Algorithm 1+2).
+
+    Parameters
+    ----------
+    model:
+        Cost model (measure bound to the encoded table) defining d(S).
+    k:
+        The anonymity parameter; clusters of size ≥ k certify k-anonymity.
+    distance:
+        Cluster distance driving the merge order (Section V-A.2).
+    modified:
+        Apply the Algorithm 2 shrink step to ripe clusters, keeping all
+        final clusters at size exactly k where possible.
+
+    Returns
+    -------
+    A :class:`Clustering` whose every cluster has ≥ k records.
+
+    Raises
+    ------
+    AnonymityError
+        If ``k`` exceeds the number of records or the table is empty.
+    """
+    n = model.enc.num_records
+    if n == 0:
+        raise AnonymityError("cannot anonymize an empty table")
+    if k > n:
+        raise AnonymityError(f"k={k} exceeds the number of records n={n}")
+    if k <= 1:
+        # Trivial: every record is its own cluster, nothing is generalized.
+        return Clustering(n, [[i] for i in range(n)])
+    return _Engine(model, distance, k).run(modified)

@@ -1,0 +1,88 @@
+"""Exact (exponential-time) optima for tiny tables.
+
+The k-anonymization problem is NP-hard [16], and the paper's algorithms
+are heuristics or approximations.  To *test* them — approximation ratios
+(Proposition 5.1), sanity of the heuristics — we need ground truth on
+small inputs, which this module provides:
+
+* :func:`optimal_k_anonymity` — best partition into blocks of size ≥ k,
+  by exhaustive canonical partition enumeration (n ≲ 10).
+* :func:`repro.core.k1.k1_optimal_cost` — the paper's O(n^k) exact
+  (k,1) procedure lives next to the heuristics it validates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.errors import AnonymityError
+from repro.measures.base import CostModel
+
+
+def optimal_k_anonymity(
+    model: CostModel, k: int, max_records: int = 12
+) -> tuple[float, Clustering]:
+    """Optimal k-anonymization cost and clustering, by brute force.
+
+    Enumerates set partitions in canonical order (each element either
+    joins an existing block or opens a new one), pruning partitions that
+    can no longer make every block ≥ k.
+
+    Raises
+    ------
+    AnonymityError
+        If the table is larger than ``max_records`` (the search is
+        exponential) or k is infeasible.
+    """
+    n = model.enc.num_records
+    if n == 0:
+        raise AnonymityError("cannot anonymize an empty table")
+    if n > max_records:
+        raise AnonymityError(
+            f"optimal search is exponential; refusing n={n} > {max_records}"
+        )
+    if k > n:
+        raise AnonymityError(f"k={k} exceeds the number of records n={n}")
+    if k <= 1:
+        identity = Clustering(n, [[i] for i in range(n)])
+        return 0.0, identity
+
+    best_cost = np.inf
+    best_blocks: list[list[int]] | None = None
+    blocks: list[list[int]] = []
+
+    def weight(blocks_now: list[list[int]]) -> float:
+        return sum(
+            len(b) * model.cluster_cost(b) for b in blocks_now
+        )
+
+    def recurse(i: int) -> None:
+        nonlocal best_cost, best_blocks
+        if i == n:
+            if all(len(b) >= k for b in blocks):
+                cost = weight(blocks) / n
+                if cost < best_cost:
+                    best_cost = cost
+                    best_blocks = [list(b) for b in blocks]
+            return
+        remaining = n - i
+        # Feasibility prune: every currently-undersized block still needs
+        # top-ups; remaining records must cover all deficits.
+        deficit = sum(max(0, k - len(b)) for b in blocks)
+        if deficit > remaining:
+            return
+        for block in blocks:
+            block.append(i)
+            recurse(i + 1)
+            block.pop()
+        # New block only if a fresh block of size ≥ k can still be filled.
+        if remaining >= k or not blocks:
+            blocks.append([i])
+            recurse(i + 1)
+            blocks.pop()
+
+    recurse(0)
+    if best_blocks is None:
+        raise AnonymityError("no feasible k-anonymous partition found")
+    return float(best_cost), Clustering(n, best_blocks)

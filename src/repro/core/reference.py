@@ -1,0 +1,153 @@
+"""Slow reference implementations, for differential testing.
+
+The production agglomerative engine (:mod:`repro.core.agglomerative`)
+earns its O(n²) bound with cached closures, a pairwise distance matrix
+and per-row minima — exactly the machinery where subtle staleness bugs
+live.  This module re-implements Algorithm 1/2 *literally*: plain
+Python lists of clusters, closures recomputed from scratch, a full pair
+scan per merge, no caching anywhere.  The test suite runs both on the
+same inputs and demands identical results.
+
+One honest caveat: when two pairs are at *exactly* the same distance,
+the two implementations may merge different pairs (the cached engine's
+argmin semantics depend on update order), and either choice is a
+correct execution of Algorithm 1.  The reference therefore reports
+whether any exact tie influenced a decision; the differential tests
+compare outcomes only for tie-free runs and fall back to
+invariant-level checks otherwise.
+
+Only suitable for tiny tables (the scan is O(n³) overall); never use it
+outside tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.clustering import Clustering
+from repro.core.distances import ClusterDistance
+from repro.errors import AnonymityError
+from repro.measures.base import CostModel
+
+#: Two distances closer than this are treated as an exact tie.
+_TIE_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ReferenceRun:
+    """Outcome of one reference execution."""
+
+    clustering: Clustering
+    had_ties: bool  #: whether any merge decision involved an exact tie
+
+
+def _dist(
+    model: CostModel,
+    distance: ClusterDistance,
+    cluster_a: list[int],
+    cluster_b: list[int],
+) -> float:
+    cost_a = model.cluster_cost(cluster_a)
+    cost_b = model.cluster_cost(cluster_b)
+    cost_union = model.cluster_cost(cluster_a + cluster_b)
+    return float(
+        distance.evaluate(
+            len(cluster_a), cost_a, len(cluster_b), cost_b, cost_union
+        )
+    )
+
+
+def reference_agglomerative(
+    model: CostModel,
+    k: int,
+    distance: ClusterDistance,
+    modified: bool = False,
+) -> ReferenceRun:
+    """Algorithm 1 (and 2 with ``modified=True``), transcribed literally."""
+    n = model.enc.num_records
+    if n == 0:
+        raise AnonymityError("cannot anonymize an empty table")
+    if k > n:
+        raise AnonymityError(f"k={k} exceeds the number of records n={n}")
+    if k <= 1:
+        return ReferenceRun(
+            Clustering(n, [[i] for i in range(n)]), had_ties=False
+        )
+
+    clusters: list[list[int]] = [[i] for i in range(n)]
+    output: list[list[int]] = []
+    had_ties = False
+
+    while len(clusters) > 1:
+        best = None  # (dist, index_a, index_b)
+        for a in range(len(clusters)):
+            for b in range(len(clusters)):
+                if a == b:
+                    continue
+                d = _dist(model, distance, clusters[a], clusters[b])
+                if best is None or d < best[0] - _TIE_EPS:
+                    best = (d, a, b)
+                elif best is not None and abs(d - best[0]) <= _TIE_EPS and (
+                    (a, b) != (best[1], best[2])
+                ):
+                    had_ties = True
+        assert best is not None
+        _, a, b = best
+        merged = clusters[a] + clusters[b]
+        for idx in sorted((a, b), reverse=True):
+            del clusters[idx]
+        if len(merged) >= k:
+            if modified and len(merged) > k:
+                merged, expelled, shrink_ties = _shrink(
+                    model, distance, merged, k
+                )
+                had_ties = had_ties or shrink_ties
+            else:
+                expelled = []
+            output.append(merged)
+            clusters.extend([record] for record in expelled)
+        else:
+            clusters.append(merged)
+
+    if clusters:
+        (leftover,) = clusters
+        for record in leftover:
+            best_t = None
+            for t, cluster in enumerate(output):
+                d = _dist(model, distance, [record], cluster)
+                if best_t is None or d < best_t[0] - _TIE_EPS:
+                    best_t = (d, t)
+                elif best_t is not None and abs(d - best_t[0]) <= _TIE_EPS:
+                    had_ties = True
+            assert best_t is not None
+            output[best_t[1]].append(record)
+    return ReferenceRun(Clustering(n, output), had_ties=had_ties)
+
+
+def _shrink(
+    model: CostModel,
+    distance: ClusterDistance,
+    members: list[int],
+    k: int,
+) -> tuple[list[int], list[int], bool]:
+    kept = list(members)
+    expelled: list[int] = []
+    had_ties = False
+    while len(kept) > k:
+        size = len(kept)
+        cost_full = model.cluster_cost(kept)
+        best_i, best_d = 0, float("-inf")
+        for i in range(size):
+            rest = kept[:i] + kept[i + 1 :]
+            d_i = float(
+                distance.evaluate(
+                    size, cost_full, size - 1, model.cluster_cost(rest),
+                    cost_full,
+                )
+            )
+            if d_i > best_d + _TIE_EPS:
+                best_i, best_d = i, d_i
+            elif abs(d_i - best_d) <= _TIE_EPS and i != best_i:
+                had_ties = True
+        expelled.append(kept.pop(best_i))
+    return kept, expelled, had_ties

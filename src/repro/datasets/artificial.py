@@ -1,0 +1,115 @@
+"""The ART dataset — the paper's artificial data, verbatim (Section VI).
+
+Six attributes A1..A6 with the exact value-probability vectors and
+permissible-subset collections listed in the paper:
+
+    A1 : {0.7, 0.3}
+    A2 : {0.3, 0.3, 0.2, 0.2}
+    A3 : {0.25, 0.25, 0.4, 0.1}
+    A4 : {6 × 0.07, 10 × 0.04, 9 × 0.02}           (25 values)
+    A5 : {10 × 0.1}
+    A6 : {0.05, 0.05, 0.5, 0.3, 0.1}
+
+and non-trivial subsets
+
+    A1 : none
+    A2 : {a1,a2}, {a3,a4}
+    A3 : {a1,a2}, {a3,a4}
+    A4 : {a1..a6}, {a7..a12}, {a13..a18}, {a19..a25},
+         {a1..a12}, {a13..a25}
+    A5 : {a1,a2}, {a3,a4}, {a6,a7}, {a8,a9},
+         {a1..a5}, {a6..a10}
+    A6 : {a1,a2}, {a4,a5}, {a3,a4,a5}
+
+Values are named ``a1..am`` per attribute; records are sampled i.i.d.
+(the paper gives no correlation structure).  An optional synthetic
+private attribute ``condition`` is attached for the privacy/extension
+demos — it never influences the public data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import check_probs, validate_n
+from repro.tabular.attribute import Attribute
+from repro.tabular.hierarchy import SubsetCollection
+from repro.tabular.table import Schema, Table
+
+#: (probabilities, non-trivial subsets as index ranges) per attribute.
+_SPEC: list[tuple[list[float], list[list[int]]]] = [
+    ([0.7, 0.3], []),
+    ([0.3, 0.3, 0.2, 0.2], [[1, 2], [3, 4]]),
+    ([0.25, 0.25, 0.4, 0.1], [[1, 2], [3, 4]]),
+    (
+        [0.07] * 6 + [0.04] * 10 + [0.02] * 9,
+        [
+            list(range(1, 7)),
+            list(range(7, 13)),
+            list(range(13, 19)),
+            list(range(19, 26)),
+            list(range(1, 13)),
+            list(range(13, 26)),
+        ],
+    ),
+    (
+        [0.1] * 10,
+        [[1, 2], [3, 4], [6, 7], [8, 9], [1, 2, 3, 4, 5], [6, 7, 8, 9, 10]],
+    ),
+    ([0.05, 0.05, 0.5, 0.3, 0.1], [[1, 2], [4, 5], [3, 4, 5]]),
+]
+
+#: Synthetic private-attribute domain for demos.
+CONDITIONS = (
+    "flu",
+    "diabetes",
+    "asthma",
+    "hypertension",
+    "fracture",
+    "migraine",
+    "allergy",
+    "healthy",
+)
+_CONDITION_PROBS = (0.15, 0.1, 0.1, 0.15, 0.05, 0.1, 0.1, 0.25)
+
+
+def make_schema(private: bool = False) -> Schema:
+    """The ART schema; ``private=True`` adds the ``condition`` column."""
+    collections = []
+    for idx, (probs, subsets) in enumerate(_SPEC, start=1):
+        values = [f"a{i}" for i in range(1, len(probs) + 1)]
+        att = Attribute(f"A{idx}", values)
+        named_subsets = [[f"a{i}" for i in subset] for subset in subsets]
+        collections.append(SubsetCollection(att, named_subsets))
+    return Schema(collections, ("condition",) if private else ())
+
+
+def generate(n: int = 1000, seed: int = 0, private: bool = False) -> Table:
+    """Sample an ART table of n records.
+
+    Parameters
+    ----------
+    n:
+        Number of records.  The paper does not state the size it used;
+        1000 is this reproduction's default (see EXPERIMENTS.md).
+    seed:
+        RNG seed; the same (n, seed) always yields the same table.
+    private:
+        Attach the synthetic ``condition`` private attribute.
+    """
+    validate_n(n)
+    rng = np.random.default_rng(seed)
+    schema = make_schema(private)
+    columns = []
+    for j, (probs, _) in enumerate(_SPEC):
+        p = check_probs(f"A{j + 1}", probs, len(probs))
+        idx = rng.choice(len(p), size=n, p=p)
+        values = schema.collections[j].attribute.values
+        columns.append([values[i] for i in idx])
+    rows = list(zip(*columns))
+    private_rows = None
+    if private:
+        p = check_probs("condition", _CONDITION_PROBS, len(CONDITIONS))
+        idx = rng.choice(len(CONDITIONS), size=n, p=p)
+        private_rows = [(CONDITIONS[i],) for i in idx]
+    return Table(schema, rows, private_rows)

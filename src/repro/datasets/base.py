@@ -1,0 +1,54 @@
+"""Shared helpers for the evaluation-dataset generators.
+
+Each dataset module exposes ``make_schema()`` and
+``generate(n, seed, private)``; the registry in
+:mod:`repro.datasets.registry` wires them up behind
+:func:`repro.datasets.load`.
+
+All generators are deterministic given (n, seed) — numpy's
+``default_rng`` PCG64 stream — so every experiment in EXPERIMENTS.md is
+exactly rerunnable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def check_probs(name: str, probs: Sequence[float], num_values: int) -> np.ndarray:
+    """Validate and renormalize a probability vector for one attribute."""
+    p = np.asarray(probs, dtype=np.float64)
+    if p.shape != (num_values,):
+        raise DatasetError(
+            f"{name}: {len(p)} probabilities for {num_values} values"
+        )
+    if (p < 0).any():
+        raise DatasetError(f"{name}: negative probability")
+    total = p.sum()
+    if total <= 0:
+        raise DatasetError(f"{name}: probabilities sum to zero")
+    return p / total
+
+
+def sample_categorical(
+    rng: np.random.Generator,
+    values: Sequence[str],
+    probs: Sequence[float],
+    n: int,
+) -> list[str]:
+    """Sample n values from a categorical distribution."""
+    p = check_probs("categorical", probs, len(values))
+    idx = rng.choice(len(values), size=n, p=p)
+    values = list(values)
+    return [values[i] for i in idx]
+
+
+def validate_n(n: int, minimum: int = 1) -> int:
+    """Validate a requested table size."""
+    if n < minimum:
+        raise DatasetError(f"dataset size must be ≥ {minimum}, got {n}")
+    return n

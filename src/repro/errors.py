@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """An attribute, hierarchy, or schema definition is invalid.
+
+    Examples: duplicate attribute values, a permissible-subset collection
+    that is missing a singleton or the full set, or a record that refers to
+    a value outside its attribute's domain.
+    """
+
+
+class ClosureError(ReproError):
+    """A closure could not be computed or is ambiguous.
+
+    Raised when a set of values has no permissible superset (impossible for
+    valid collections, which always contain the full set) or when a
+    non-laminar collection has several minimal supersets and the caller
+    requested strict (unambiguous) closures.
+    """
+
+
+class AnonymityError(ReproError):
+    """An anonymization request is infeasible or inconsistent.
+
+    Examples: requesting ``k`` larger than the number of records, or
+    feeding Algorithm 5/6 a generalized table whose i-th record does not
+    generalize the i-th original record.
+    """
+
+
+class MatchingError(ReproError):
+    """A bipartite-matching computation failed its preconditions.
+
+    Example: asking for allowed edges of a graph that admits no perfect
+    matching (every generalization graph has one, the identity matching,
+    so hitting this indicates caller error).
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or a run failed."""

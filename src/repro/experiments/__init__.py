@@ -1,0 +1,43 @@
+"""Experiment harness reproducing Section VI (and the §VII experiments).
+
+* :mod:`repro.experiments.table1` — Table I.
+* :mod:`repro.experiments.figures` — Figures 2 and 3.
+* :mod:`repro.experiments.ablations` — the Section VI-A bullet claims.
+* :mod:`repro.experiments.global1k` — the Algorithm 6 conversion study.
+* :mod:`repro.experiments.scaling` — runtime scaling checks.
+* :mod:`repro.experiments.paper_values` — the paper's numbers, verbatim.
+"""
+
+from repro.experiments.configs import (
+    AGGLOMERATIVE_VARIANTS,
+    DEFAULT_SIZES,
+    PAPER_SIZES,
+    ExperimentConfig,
+    resolve_sizes,
+    variant_name,
+)
+from repro.experiments.figures import FigureResult, compute_figure
+from repro.experiments.runner import ExperimentRunner, RunOutcome
+from repro.experiments.table1 import (
+    Table1Block,
+    Table1Result,
+    compute_block,
+    compute_table1,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "RunOutcome",
+    "compute_table1",
+    "compute_block",
+    "Table1Result",
+    "Table1Block",
+    "compute_figure",
+    "FigureResult",
+    "AGGLOMERATIVE_VARIANTS",
+    "DEFAULT_SIZES",
+    "PAPER_SIZES",
+    "resolve_sizes",
+    "variant_name",
+]

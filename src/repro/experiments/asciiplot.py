@@ -1,0 +1,84 @@
+"""Minimal ASCII line charts, for reproducing Figures 2 and 3 in text.
+
+The paper's figures plot information loss against k for three series
+(k-anon, forest, (k,k)-anon).  :func:`line_chart` renders the same thing
+on a character grid with one marker per series and a legend — good
+enough to eyeball the orderings and the concave growth in k.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox*+#@"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "k",
+    y_label: str = "loss",
+) -> str:
+    """Render named (x, y) series on one shared-axis character grid."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    # A little vertical headroom so extreme points don't sit on the frame.
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y_hi - y) / (y_hi - y_lo) * (height - 1))
+        return row, col
+
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        pts = sorted(pts)
+        # Interpolated segments between consecutive points.
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(2, int(abs(cell(x1, y1)[1] - cell(x0, y0)[1])) + 1)
+            for s in range(steps + 1):
+                t = s / steps
+                row, col = cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for x, y in pts:
+            row, col = cell(x, y)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_hi:8.2f} |"
+        elif r == height - 1:
+            label = f"{y_lo:8.2f} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"{x_lo:<10.0f}{x_label:^{max(0, width - 20)}}{x_hi:>10.0f}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 9 + legend + f"   (y: {y_label})")
+    return "\n".join(lines)

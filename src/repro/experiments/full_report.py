@@ -1,0 +1,122 @@
+"""One-shot reproduction report: every experiment, one document.
+
+``repro-anon experiment all [--out FILE]`` (and
+:func:`generate_full_report`) runs the complete Section VI evaluation —
+Table I, Figures 1–3, the four ablations, the Algorithm 6 study, the
+ε-sweep and the seed-stability check — and assembles a single text
+report mirroring EXPERIMENTS.md's structure, ready to diff against a
+previous run.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.ablations import (
+    coupling_ablation,
+    distance_ablation,
+    join_target_ablation,
+    modified_ablation,
+)
+from repro.experiments.figures import compute_figure
+from repro.experiments.global1k import (
+    format_conversion,
+    global_conversion_experiment,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.table1 import compute_table1
+from repro.experiments.variance import variance_study
+from repro.tabular.encoding import EncodedTable
+
+
+def _rule(title: str) -> str:
+    bar = "=" * max(60, len(title) + 4)
+    return f"\n{bar}\n  {title}\n{bar}\n"
+
+
+def generate_full_report(
+    runner: ExperimentRunner | None = None,
+    include_variance: bool = True,
+    include_epsilon: bool = True,
+) -> str:
+    """Run everything and return the assembled report text."""
+    runner = runner or ExperimentRunner()
+    out = io.StringIO()
+
+    out.write(_rule("CONFIGURATION"))
+    out.write(runner.config.describe() + "\n")
+
+    out.write(_rule("TABLE I"))
+    table1 = compute_table1(runner)
+    out.write(table1.format() + "\n\n")
+    out.write(table1.improvement_summary() + "\n")
+    violations = table1.shape_violations()
+    out.write(
+        "shape check: "
+        + ("OK\n" if not violations else "\n".join(violations) + "\n")
+    )
+
+    out.write(_rule("FIGURE 1 — class relations"))
+    from repro.core.relations import (
+        check_figure1,
+        enumerate_census,
+        proposition_45_example,
+    )
+
+    prop_table, _ = proposition_45_example()
+    census = enumerate_census(EncodedTable(prop_table), k=2)
+    out.write(f"{census.total} generalizations enumerated; regions:\n")
+    for key, count in sorted(census.counts.items(), key=lambda kv: -kv[1]):
+        label = "+".join(sorted(key)) if key else "(none)"
+        out.write(f"  {label:32s} {count:4d}\n")
+    problems = check_figure1(census)
+    out.write("inclusions: " + ("OK\n" if not problems else f"{problems}\n"))
+
+    for fig_name in ("fig2", "fig3"):
+        fig = compute_figure(runner, fig_name)
+        out.write(_rule(f"{fig.figure.upper()} — Adult / {fig.measure}"))
+        out.write(fig.chart() + "\n\n")
+        out.write(fig.numbers() + "\n")
+
+    out.write(_rule("ABLATIONS"))
+    for dataset in runner.config.datasets:
+        for measure in runner.config.measures:
+            out.write(f"\n--- {dataset} / {measure} ---\n")
+            ab = distance_ablation(runner, dataset, measure)
+            out.write(f"A1 distance ranking: {ab.ranking()}\n")
+            out.write(ab.format() + "\n")
+            out.write(coupling_ablation(runner, dataset, measure).format() + "\n")
+            out.write(modified_ablation(runner, dataset, measure).format() + "\n")
+            out.write(
+                join_target_ablation(runner, dataset, measure).format() + "\n"
+            )
+
+    out.write(_rule("G1 — (k,k) → GLOBAL (1,k)"))
+    points = []
+    for dataset in runner.config.datasets:
+        points.extend(global_conversion_experiment(runner, dataset, "entropy"))
+    out.write(format_conversion(points) + "\n")
+
+    if include_epsilon:
+        out.write(_rule("F1 — ((1+ε)k,(1+ε)k) SWEEP"))
+        from repro.extensions.epsilon_kk import epsilon_sweep
+
+        for dataset in runner.config.datasets:
+            sweep = epsilon_sweep(runner.model(dataset, "entropy"), k=5)
+            eps = sweep.smallest_sufficient_epsilon()
+            out.write(f"\n{dataset}: smallest sufficient ε = {eps}\n")
+            for p in sweep.points:
+                out.write(
+                    f"  ε={p.epsilon:<4} k'={p.k_prime:<3} Π={p.cost:.4f} "
+                    f"min matches={p.min_matches} "
+                    f"deficient={p.deficient_records}\n"
+                )
+
+    if include_variance:
+        out.write(_rule("V1 — SEED STABILITY"))
+        for dataset in runner.config.datasets:
+            study = variance_study(dataset, k=10, n=300)
+            out.write("\n" + study.format() + "\n")
+
+    out.write(_rule("END OF REPORT"))
+    return out.getvalue()

@@ -1,0 +1,109 @@
+"""Runtime scaling sweep (the Section V complexity claims).
+
+The paper quotes O(n²) for the agglomerative algorithm, O(kn²) for
+Algorithms 3–5, and O(√n·m²) worst case for Algorithm 6's naive
+per-edge matching (which the implementation replaces with an O(n+m)
+structure-theorem pass per fix round).  This sweep measures wall-clock
+time across table sizes and fits the empirical exponent, so regressions
+in the vectorized engines show up as a broken power law rather than a
+silent slowdown.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.core.agglomerative import agglomerative_clustering
+from repro.core.distances import get_distance
+from repro.core.forest import forest_clustering
+from repro.core.kk import kk_anonymize
+from repro.core.scalable import blocked_agglomerative
+from repro.datasets.registry import load
+from repro.experiments.report import format_table
+from repro.measures.base import CostModel
+from repro.measures.registry import get_measure
+from repro.tabular.encoding import EncodedTable
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (algorithm, n) timing."""
+
+    algorithm: str
+    n: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Full sweep with per-algorithm exponent fits."""
+
+    dataset: str
+    k: int
+    points: tuple[ScalingPoint, ...]
+
+    def exponent(self, algorithm: str) -> float:
+        """Least-squares slope of log(time) vs log(n) for one algorithm."""
+        pts = [(p.n, p.seconds) for p in self.points if p.algorithm == algorithm]
+        if len(pts) < 2:
+            return float("nan")
+        xs = [math.log(n) for n, _ in pts]
+        ys = [math.log(max(t, 1e-9)) for _, t in pts]
+        mean_x = sum(xs) / len(xs)
+        mean_y = sum(ys) / len(ys)
+        num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        den = sum((x - mean_x) ** 2 for x in xs)
+        return num / den if den else float("nan")
+
+    def format(self) -> str:
+        """Aligned table plus fitted exponents."""
+        algorithms = sorted({p.algorithm for p in self.points})
+        ns = sorted({p.n for p in self.points})
+        by_key = {(p.algorithm, p.n): p.seconds for p in self.points}
+        rows = [
+            [algo]
+            + [by_key.get((algo, n), float("nan")) for n in ns]
+            + [f"n^{self.exponent(algo):.2f}"]
+            for algo in algorithms
+        ]
+        return format_table(
+            ["algorithm"] + [f"n={n}" for n in ns] + ["fit"], rows, 3
+        )
+
+
+def scaling_sweep(
+    dataset: str = "adult",
+    k: int = 10,
+    sizes: tuple[int, ...] = (200, 400, 800),
+    measure: str = "entropy",
+    seed: int = 0,
+) -> ScalingResult:
+    """Time the three main pipelines across table sizes."""
+    points: list[ScalingPoint] = []
+    distance = get_distance("d3")
+    for n in sizes:
+        table = load(dataset, n=n, seed=seed)
+        model = CostModel(EncodedTable(table), get_measure(measure))
+
+        started = time.perf_counter()
+        agglomerative_clustering(model, k, distance)
+        points.append(
+            ScalingPoint("agglomerative", n, time.perf_counter() - started)
+        )
+
+        started = time.perf_counter()
+        forest_clustering(model, k)
+        points.append(ScalingPoint("forest", n, time.perf_counter() - started))
+
+        started = time.perf_counter()
+        kk_anonymize(model, k)
+        points.append(ScalingPoint("kk", n, time.perf_counter() - started))
+
+        started = time.perf_counter()
+        blocked_agglomerative(model, k, distance, block_size=max(256, 4 * k))
+        points.append(
+            ScalingPoint("blocked", n, time.perf_counter() - started)
+        )
+    return ScalingResult(dataset=dataset, k=k, points=tuple(points))

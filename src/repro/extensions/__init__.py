@@ -1,0 +1,31 @@
+"""Extensions the paper marks as future work (Section VII).
+
+* ℓ-diversity within the agglomerative framework.
+* The ((1+ε)k, (1+ε)k) vs global (1,k) experiment.
+"""
+
+from repro.extensions.epsilon_kk import EpsilonPoint, EpsilonSweep, epsilon_sweep
+from repro.extensions.ldiversity import (
+    distinct_diversity,
+    entropy_diversity,
+    recursive_diversity_satisfied,
+    DiversityRepair,
+    cluster_diversities,
+    enforce_l_diversity,
+    is_l_diverse,
+    sensitive_column,
+)
+
+__all__ = [
+    "epsilon_sweep",
+    "EpsilonSweep",
+    "EpsilonPoint",
+    "enforce_l_diversity",
+    "DiversityRepair",
+    "is_l_diverse",
+    "distinct_diversity",
+    "entropy_diversity",
+    "recursive_diversity_satisfied",
+    "cluster_diversities",
+    "sensitive_column",
+]

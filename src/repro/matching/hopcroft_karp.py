@@ -1,0 +1,113 @@
+"""Hopcroft–Karp maximum bipartite matching, from scratch.
+
+Section V-C of the paper tests whether an edge of the consistency graph
+extends to a perfect matching by (conceptually) invoking Hopcroft–Karp,
+whose O(√V · E) running time it quotes.  This module implements the
+algorithm directly — phased BFS to layer the graph, then iterative DFS
+along layered alternating paths — with no recursion (n can be thousands).
+
+The graph is given as adjacency lists from the *left* side: ``adj[u]`` is
+an iterable of right-vertex indices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+#: Marker for an unmatched vertex.
+UNMATCHED = -1
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    adj: Sequence[Sequence[int]], num_right: int
+) -> tuple[list[int], list[int], int]:
+    """Compute a maximum matching.
+
+    Parameters
+    ----------
+    adj:
+        ``adj[u]`` lists the right-side neighbours of left vertex ``u``.
+    num_right:
+        Number of right-side vertices.
+
+    Returns
+    -------
+    ``(match_left, match_right, size)`` where ``match_left[u]`` is the
+    right vertex matched to ``u`` (or :data:`UNMATCHED`), symmetrically
+    for ``match_right``, and ``size`` is the matching cardinality.
+    """
+    num_left = len(adj)
+    match_left = [UNMATCHED] * num_left
+    match_right = [UNMATCHED] * num_right
+    dist = [0.0] * num_left
+
+    def bfs() -> bool:
+        """Layer free left vertices; return True if an augmenting path exists."""
+        queue: deque[int] = deque()
+        for u in range(num_left):
+            if match_left[u] == UNMATCHED:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                w = match_right[v]
+                if w == UNMATCHED:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(root: int) -> bool:
+        """Find one augmenting path from ``root`` along the BFS layers.
+
+        Iterative: the stack holds (vertex, index-into-adjacency) frames;
+        on success the path is flipped from the far end back to the root.
+        """
+        stack: list[tuple[int, int]] = [(root, 0)]
+        path: list[tuple[int, int]] = []  # (left vertex, right vertex) pairs
+        while stack:
+            u, i = stack[-1]
+            if i >= len(adj[u]):
+                # Dead end: retire u from this phase and backtrack.
+                dist[u] = _INF
+                stack.pop()
+                if path and stack:
+                    path.pop()
+                continue
+            stack[-1] = (u, i + 1)
+            v = adj[u][i]
+            w = match_right[v]
+            if w == UNMATCHED:
+                # Augment: flip matched status along the collected path.
+                path.append((u, v))
+                for pu, pv in path:
+                    match_left[pu] = pv
+                    match_right[pv] = pu
+                return True
+            if dist[w] == dist[u] + 1:
+                path.append((u, v))
+                stack.append((w, 0))
+        return False
+
+    size = 0
+    while bfs():
+        for u in range(num_left):
+            if match_left[u] == UNMATCHED and dfs(u):
+                size += 1
+    return match_left, match_right, size
+
+
+def has_perfect_matching(adj: Sequence[Sequence[int]], num_right: int) -> bool:
+    """Whether a perfect matching (saturating both sides) exists."""
+    if len(adj) != num_right:
+        return False
+    *_, size = hopcroft_karp(adj, num_right)
+    return size == len(adj)

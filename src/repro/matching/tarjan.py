@@ -1,0 +1,82 @@
+"""Tarjan's strongly connected components, iterative.
+
+Used by the allowed-edge computation (:mod:`repro.matching.allowed`):
+after orienting the consistency graph around one perfect matching, an
+edge lies on an alternating cycle iff its endpoints share an SCC.
+
+The implementation is the standard Tarjan lowlink algorithm converted to
+an explicit stack, so graphs with tens of thousands of vertices do not
+hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def strongly_connected_components(adj: Sequence[Sequence[int]]) -> list[int]:
+    """Compute SCC ids for a directed graph.
+
+    Parameters
+    ----------
+    adj:
+        ``adj[u]`` lists the out-neighbours of vertex ``u``.
+
+    Returns
+    -------
+    ``comp`` with ``comp[u] == comp[v]`` iff u and v are strongly
+    connected.  Component ids are assigned in reverse topological order of
+    the condensation (Tarjan's natural output order); only equality of ids
+    is meaningful to callers.
+    """
+    n = len(adj)
+    index = [-1] * n  # discovery index, -1 = unvisited
+    lowlink = [0] * n
+    on_stack = [False] * n
+    scc_stack: list[int] = []
+    comp = [-1] * n
+    next_index = 0
+    next_comp = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Frame: (vertex, iterator position into adj[vertex])
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            u, i = work[-1]
+            if i == 0:
+                index[u] = lowlink[u] = next_index
+                next_index += 1
+                scc_stack.append(u)
+                on_stack[u] = True
+            advanced = False
+            neighbours = adj[u]
+            while i < len(neighbours):
+                v = neighbours[i]
+                i += 1
+                if index[v] == -1:
+                    work[-1] = (u, i)
+                    work.append((v, 0))
+                    advanced = True
+                    break
+                if on_stack[v]:
+                    if index[v] < lowlink[u]:
+                        lowlink[u] = index[v]
+            if advanced:
+                continue
+            # All neighbours done: close u.
+            work.pop()
+            if lowlink[u] == index[u]:
+                while True:
+                    w = scc_stack.pop()
+                    on_stack[w] = False
+                    comp[w] = next_comp
+                    if w == u:
+                        break
+                next_comp += 1
+            if work:
+                parent = work[-1][0]
+                if lowlink[u] < lowlink[parent]:
+                    lowlink[parent] = lowlink[u]
+    return comp

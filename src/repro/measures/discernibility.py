@@ -1,0 +1,34 @@
+"""The DM (discernibility) measure of Bayardo & Agrawal [6].
+
+Each record is charged the size of the equivalence class (cluster) it is
+published in, so a clustering costs ``Σ_S |S|²``.  DM cares only about
+class sizes, never about how much the values were generalized — the paper
+cites it as a historical cost metric, and we expose it (normalized by
+``n²`` so results are comparable across table sizes) for the ablation
+benches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SchemaError
+from repro.measures.base import ClusteringMeasure
+from repro.tabular.encoding import EncodedTable
+
+
+class DiscernibilityMeasure(ClusteringMeasure):
+    """DM — sum of squared cluster sizes, normalized to [1/n, 1]."""
+
+    name = "dm"
+
+    def clustering_cost(
+        self, enc: EncodedTable, clusters: Sequence[Sequence[int]]
+    ) -> float:
+        n = enc.num_records
+        covered = sum(len(c) for c in clusters)
+        if covered != n:
+            raise SchemaError(
+                f"clustering covers {covered} records, table has {n}"
+            )
+        return sum(len(c) ** 2 for c in clusters) / (n * n)

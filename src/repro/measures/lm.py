@@ -1,0 +1,31 @@
+"""The LM (loss metric) measure of Iyengar [11] / Nergiz–Clifton [17].
+
+Each entry is charged ``(|B| − 1) / (|A_j| − 1)`` — 0 for an unmodified
+value, 1 for total suppression, linear in between (eq. 4).  Purely
+structural: it looks only at subset sizes, never at the data
+distribution, and the paper calls it "the most accurate measure from
+among" the structural family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import LossMeasure
+from repro.tabular.encoding import EncodedAttribute
+
+
+class LMMeasure(LossMeasure):
+    """Π_LM — the loss-metric measure (eq. 4)."""
+
+    name = "lm"
+
+    def node_costs(
+        self, attribute: EncodedAttribute, value_counts: np.ndarray
+    ) -> np.ndarray:
+        m = attribute.num_values
+        sizes = attribute.sizes.astype(np.float64)
+        if m == 1:
+            # A one-value domain cannot be generalized; nothing is lost.
+            return np.zeros(attribute.num_nodes, dtype=np.float64)
+        return (sizes - 1.0) / (m - 1.0)

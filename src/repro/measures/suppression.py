@@ -1,0 +1,35 @@
+"""The Meyerson–Williams generalization-count measure.
+
+The paper's related work (§II, §IV) starts from Meyerson & Williams
+[16], whose model allows only suppression and whose cost "simply
+counted the number of suppressed entries".  As a node-decomposable
+measure over arbitrary collections this becomes: an entry costs 1 as
+soon as it is generalized at all, 0 if published exactly.  On
+suppression-only collections (singletons + full set) it *is* the MW
+suppression count, normalized by the n·r entries; on richer collections
+it counts generalized entries — the bluntest instrument in the measure
+family and a useful stress test for the algorithms (its node costs are
+0/1-valued, so distance functions see many exact ties).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import LossMeasure
+from repro.tabular.encoding import EncodedAttribute
+
+
+class SuppressionMeasure(LossMeasure):
+    """Fraction of table entries that were generalized at all.
+
+    Equals the Meyerson–Williams suppressed-entry count (divided by
+    ``n·r``) whenever the collections are suppression-only.
+    """
+
+    name = "mw"
+
+    def node_costs(
+        self, attribute: EncodedAttribute, value_counts: np.ndarray
+    ) -> np.ndarray:
+        return (attribute.sizes > 1).astype(np.float64)

@@ -1,0 +1,46 @@
+"""The tree measure of Aggarwal et al. [2, 3].
+
+Generalizing an entry to a node of the hierarchy tree is charged in
+proportion to how many levels were climbed: singletons cost 0, the root
+(total suppression) costs 1, and an internal node at depth ``d`` (from
+the root) in a tree of height ``h`` costs ``(h − d) / h``.
+
+Only defined for laminar collections (which all the paper's collections
+are); for non-laminar ones the registry will refuse it and the LM measure
+is the structural fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.measures.base import LossMeasure
+from repro.tabular.encoding import EncodedAttribute
+
+
+class TreeMeasure(LossMeasure):
+    """The hierarchy-level tree measure used by the forest algorithm's
+    original analysis [2, 3]."""
+
+    name = "tree"
+
+    def node_costs(
+        self, attribute: EncodedAttribute, value_counts: np.ndarray
+    ) -> np.ndarray:
+        coll = attribute.collection
+        if not coll.is_laminar:
+            raise SchemaError(
+                f"the tree measure requires a laminar hierarchy; attribute "
+                f"{coll.attribute.name!r} has a non-laminar collection"
+            )
+        height = coll.height()
+        costs = np.empty(attribute.num_nodes, dtype=np.float64)
+        for node in range(attribute.num_nodes):
+            if coll.node_size(node) == 1:
+                costs[node] = 0.0
+            elif height == 0:
+                costs[node] = 0.0
+            else:
+                costs[node] = (height - coll.depth(node)) / height
+        return costs

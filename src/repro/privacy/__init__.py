@@ -1,0 +1,37 @@
+"""Adversary models, attacks, risk metrics, audits and release bundles
+(Section IV-A of the paper plus the standard disclosure-control risks)."""
+
+from repro.privacy.adversary import Adversary1, Adversary2, LinkageResult
+from repro.privacy.attacks import (
+    MatchingAttackReport,
+    ReverseLinkageFinding,
+    matching_attack,
+    reverse_linkage_attack,
+    suppressed_tail_generalization,
+)
+from repro.privacy.audit import PrivacyAudit, audit_nodes, audit_release
+from repro.privacy.auxiliary import Adversary3, auxiliary_damage
+from repro.privacy.bundle import ReleaseBundle, load_release, save_release
+from repro.privacy.risk import RiskProfile, release_risks, risk_from_linkage
+
+__all__ = [
+    "Adversary1",
+    "Adversary2",
+    "Adversary3",
+    "auxiliary_damage",
+    "LinkageResult",
+    "suppressed_tail_generalization",
+    "reverse_linkage_attack",
+    "ReverseLinkageFinding",
+    "matching_attack",
+    "MatchingAttackReport",
+    "PrivacyAudit",
+    "audit_release",
+    "audit_nodes",
+    "RiskProfile",
+    "risk_from_linkage",
+    "release_risks",
+    "ReleaseBundle",
+    "save_release",
+    "load_release",
+]

@@ -1,0 +1,86 @@
+"""Re-identification risk metrics on top of the adversary models.
+
+The disclosure-control literature summarizes linkage attacks with
+scalar risks; this module computes the standard ones from the
+candidate sets produced by :class:`~repro.privacy.adversary.Adversary1`
+and :class:`~repro.privacy.adversary.Adversary2`:
+
+* **prosecutor risk** — the attacker targets a *specific* person known
+  to be in the table; their re-identification probability is
+  ``1 / |candidates|``.  Reported as max (worst record) and mean.
+* **journalist risk** — the attacker targets whoever is easiest; equal
+  to the prosecutor maximum under our models (the worst record's risk).
+* **marketer risk** — the attacker links *everyone* and profits per
+  correct match; the expected fraction of correct links is the mean of
+  ``1 / |candidates|``.
+
+A k-type guarantee at level k caps all three at ``1/k``, which is
+exactly the quantitative content of the paper's anonymity notions —
+(1,k) caps them for adversary 1, global (1,k) for adversary 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.privacy.adversary import Adversary1, Adversary2, LinkageResult
+from repro.tabular.encoding import EncodedTable
+
+
+@dataclass(frozen=True)
+class RiskProfile:
+    """Scalar re-identification risks for one adversary."""
+
+    adversary: str
+    prosecutor_max: float  #: worst single record's risk, = journalist risk
+    prosecutor_mean: float  #: average targeted risk
+    marketer: float  #: expected fraction of correct mass links
+    records_at_max: int  #: how many records attain the worst risk
+
+    @property
+    def journalist(self) -> float:
+        """Journalist risk (the easiest target's risk)."""
+        return self.prosecutor_max
+
+    def satisfies(self, k: int) -> bool:
+        """Whether every record's risk is capped at 1/k."""
+        return self.prosecutor_max <= 1.0 / k + 1e-12
+
+    def format_line(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.adversary}: prosecutor max {self.prosecutor_max:.3f} "
+            f"({self.records_at_max} record(s)), mean "
+            f"{self.prosecutor_mean:.3f}, marketer {self.marketer:.3f}"
+        )
+
+
+def risk_from_linkage(result: LinkageResult) -> RiskProfile:
+    """Risks implied by one adversary's candidate sets."""
+    counts = result.link_counts().astype(np.float64)
+    if counts.size == 0:
+        return RiskProfile(result.adversary, 0.0, 0.0, 0.0, 0)
+    risks = 1.0 / counts
+    max_risk = float(risks.max())
+    return RiskProfile(
+        adversary=result.adversary,
+        prosecutor_max=max_risk,
+        prosecutor_mean=float(risks.mean()),
+        marketer=float(risks.mean()),
+        records_at_max=int((risks >= max_risk - 1e-12).sum()),
+    )
+
+
+def release_risks(
+    enc: EncodedTable, node_matrix: np.ndarray
+) -> tuple[RiskProfile, RiskProfile]:
+    """(adversary-1 risks, adversary-2 risks) of a release.
+
+    Adversary 2's risks are always ≥ adversary 1's: pruning neighbours
+    down to matches can only shrink candidate sets.
+    """
+    adv1 = risk_from_linkage(Adversary1().attack(enc, node_matrix))
+    adv2 = risk_from_linkage(Adversary2().attack(enc, node_matrix))
+    return adv1, adv2

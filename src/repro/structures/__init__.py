@@ -1,0 +1,5 @@
+"""Small general-purpose data structures used by the algorithms."""
+
+from repro.structures.union_find import UnionFind
+
+__all__ = ["UnionFind"]

@@ -1,0 +1,65 @@
+"""Disjoint-set (union–find) with path compression and union by size.
+
+Used by the forest algorithm's Borůvka-style phase 1, where components
+of size < k repeatedly attach themselves to their nearest neighbour.
+"""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Disjoint sets over the integers ``0..n-1``."""
+
+    __slots__ = ("_parent", "_size", "_count")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"number of elements must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._count = n
+
+    def find(self, x: int) -> int:
+        """Canonical representative of x's set (with path compression)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of a and b; return False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether a and b are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def size_of(self, x: int) -> int:
+        """Size of the set containing x."""
+        return self._size[self.find(x)]
+
+    @property
+    def num_sets(self) -> int:
+        """Current number of disjoint sets."""
+        return self._count
+
+    def groups(self) -> dict[int, list[int]]:
+        """Mapping root -> sorted members, for all sets."""
+        out: dict[int, list[int]] = {}
+        for x in range(len(self._parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._parent)

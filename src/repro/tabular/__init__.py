@@ -1,0 +1,59 @@
+"""Tabular substrate: attributes, hierarchies, tables and their encoding.
+
+This package implements Section III of the paper — attribute domains,
+permissible generalization collections (Definition 3.1), tables and local
+recoding generalizations (Definition 3.2), consistency (Definition 3.3) —
+plus the numpy encoding layer that makes the O(n²) algorithms practical.
+"""
+
+from repro.tabular.attribute import Attribute, integer_attribute
+from repro.tabular.encoding import EncodedAttribute, EncodedTable
+from repro.tabular.hierarchy import (
+    IntervalCollection,
+    SubsetCollection,
+    all_intervals,
+    from_groups,
+    interval_hierarchy,
+    suppression_only,
+)
+from repro.tabular.hierarchy_csv import read_hierarchy_csv, write_hierarchy_csv
+from repro.tabular.io import (
+    read_generalized_csv,
+    read_schema_json,
+    read_table_csv,
+    schema_from_dict,
+    schema_to_dict,
+    write_generalized_csv,
+    write_schema_json,
+    write_table_csv,
+)
+from repro.tabular.record import GeneralizedRecord, record_as_generalized
+from repro.tabular.table import GeneralizedTable, Schema, Table
+
+__all__ = [
+    "Attribute",
+    "integer_attribute",
+    "SubsetCollection",
+    "suppression_only",
+    "from_groups",
+    "interval_hierarchy",
+    "IntervalCollection",
+    "all_intervals",
+    "read_hierarchy_csv",
+    "write_hierarchy_csv",
+    "GeneralizedRecord",
+    "record_as_generalized",
+    "Schema",
+    "Table",
+    "GeneralizedTable",
+    "EncodedAttribute",
+    "EncodedTable",
+    "schema_to_dict",
+    "schema_from_dict",
+    "write_schema_json",
+    "read_schema_json",
+    "write_table_csv",
+    "read_table_csv",
+    "write_generalized_csv",
+    "read_generalized_csv",
+]

@@ -1,0 +1,122 @@
+"""Attribute domains.
+
+An :class:`Attribute` is a named, finite, ordered domain of values — the
+``A_j`` of Section III of the paper.  Values are kept as strings at the API
+level; the numeric encoding used by the algorithms lives in
+:mod:`repro.tabular.encoding`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+
+class Attribute:
+    """A finite attribute domain ``A_j = {a_{j,1}, ..., a_{j,m_j}}``.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"age"`` or ``"zipcode"``.
+    values:
+        The domain, in a fixed order.  Order matters only for display and
+        for deterministic tie-breaking; the paper treats domains as sets.
+
+    Raises
+    ------
+    SchemaError
+        If the domain is empty or contains duplicate values.
+    """
+
+    __slots__ = ("_name", "_values", "_index")
+
+    def __init__(self, name: str, values: Sequence[str]) -> None:
+        if not name:
+            raise SchemaError("attribute name must be non-empty")
+        values = tuple(str(v) for v in values)
+        if not values:
+            raise SchemaError(f"attribute {name!r} has an empty domain")
+        index = {v: i for i, v in enumerate(values)}
+        if len(index) != len(values):
+            seen: set[str] = set()
+            dupes = sorted({v for v in values if v in seen or seen.add(v)})
+            raise SchemaError(f"attribute {name!r} has duplicate values: {dupes}")
+        self._name = name
+        self._values = values
+        self._index = index
+
+    @property
+    def name(self) -> str:
+        """The attribute's name."""
+        return self._name
+
+    @property
+    def values(self) -> tuple[str, ...]:
+        """The full domain, in definition order."""
+        return self._values
+
+    @property
+    def size(self) -> int:
+        """Number of values ``m_j`` in the domain."""
+        return len(self._values)
+
+    def index_of(self, value: str) -> int:
+        """Return the integer code of ``value``.
+
+        Raises
+        ------
+        SchemaError
+            If ``value`` is not in the domain.
+        """
+        try:
+            return self._index[value]
+        except KeyError:
+            raise SchemaError(
+                f"value {value!r} is not in the domain of attribute {self._name!r}"
+            ) from None
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self._name == other._name and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._values))
+
+    def __repr__(self) -> str:
+        if len(self._values) <= 6:
+            dom = ", ".join(self._values)
+        else:
+            dom = ", ".join(self._values[:3]) + f", ... ({len(self._values)} values)"
+        return f"Attribute({self._name!r}: {dom})"
+
+
+def integer_attribute(name: str, low: int, high: int) -> Attribute:
+    """Build an attribute whose domain is the integers ``low..high`` inclusive.
+
+    Convenience for numeric quasi-identifiers such as ``age``; the values
+    are stored as their decimal string representations.
+    """
+    if high < low:
+        raise SchemaError(f"integer attribute {name!r}: high {high} < low {low}")
+    return Attribute(name, [str(v) for v in range(low, high + 1)])
+
+
+def validate_values(attribute: Attribute, values: Iterable[str]) -> None:
+    """Raise :class:`SchemaError` unless every value lies in the domain."""
+    for v in values:
+        if v not in attribute:
+            raise SchemaError(
+                f"value {v!r} is not in the domain of attribute {attribute.name!r}"
+            )

@@ -1,0 +1,258 @@
+"""Numeric encoding of tables and hierarchies.
+
+Every algorithm in the paper is O(n²)-ish in the number of records, which
+is only feasible in Python if the inner loops become numpy table lookups.
+This module precomputes, per attribute:
+
+* ``join[a, b]`` — node index of the closure of the union of nodes a and b
+  (the LCA for laminar collections), so cluster closures become integer
+  lookups;
+* ``anc[v, b]`` — whether value ``v`` lies in node ``b``, so consistency
+  checks (Definition 3.3) become boolean lookups;
+* ``sizes[b]`` and ``singleton[v]`` helper arrays;
+* the empirical value distribution, which the entropy measure needs.
+
+An :class:`EncodedTable` additionally deduplicates identical rows: all
+costs and closures depend only on the multiset of values, so algorithms
+can work on ``u ≤ n`` unique rows with multiplicities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.tabular.hierarchy import SubsetCollection
+from repro.tabular.record import GeneralizedRecord
+from repro.tabular.table import GeneralizedTable, Table
+
+
+class EncodedAttribute:
+    """Precomputed lookup tables for one attribute's subset collection."""
+
+    __slots__ = ("collection", "join", "anc", "sizes", "singleton", "full_node")
+
+    def __init__(self, collection: SubsetCollection) -> None:
+        self.collection = collection
+        n_nodes = collection.num_nodes
+        m = collection.attribute.size
+
+        # Specialized collections (e.g. IntervalCollection, whose node
+        # count is quadratic in m) supply vectorized table builders.
+        if hasattr(collection, "build_join_table"):
+            self.join = np.asarray(
+                collection.build_join_table(), dtype=np.int32
+            )
+        else:
+            join = np.empty((n_nodes, n_nodes), dtype=np.int32)
+            for a in range(n_nodes):
+                join[a, a] = a
+                for b in range(a + 1, n_nodes):
+                    j = collection.join(a, b)
+                    join[a, b] = j
+                    join[b, a] = j
+            self.join = join
+
+        if hasattr(collection, "build_ancestor_table"):
+            self.anc = np.asarray(
+                collection.build_ancestor_table(), dtype=bool
+            )
+        else:
+            anc = np.zeros((m, n_nodes), dtype=bool)
+            for b in range(n_nodes):
+                for v in collection.node_indices(b):
+                    anc[v, b] = True
+            self.anc = anc
+
+        self.sizes = np.array(
+            [collection.node_size(b) for b in range(n_nodes)], dtype=np.int32
+        )
+        self.singleton = np.array(
+            [collection.singleton_node(v) for v in range(m)], dtype=np.int32
+        )
+        self.full_node = collection.full_node
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of permissible subsets."""
+        return int(self.join.shape[0])
+
+    @property
+    def num_values(self) -> int:
+        """Domain size ``m_j``."""
+        return int(self.anc.shape[0])
+
+
+class EncodedTable:
+    """A table compiled to integer codes plus per-attribute lookup tables.
+
+    Attributes
+    ----------
+    codes:
+        ``int32[n, r]`` value indices of every record.
+    singleton_nodes:
+        ``int32[n, r]`` node index of each record's singleton subsets —
+        a plain record viewed as a (trivially) generalized record.
+    unique_codes, unique_inverse, unique_counts:
+        Deduplicated rows: ``codes == unique_codes[unique_inverse]`` and
+        ``unique_counts`` are the multiplicities.
+    value_counts:
+        Per attribute, the empirical count of each domain value in the
+        table — the distribution behind the entropy measure (Def. 4.3).
+    """
+
+    __slots__ = (
+        "table",
+        "schema",
+        "attrs",
+        "codes",
+        "singleton_nodes",
+        "unique_codes",
+        "unique_inverse",
+        "unique_counts",
+        "unique_singleton_nodes",
+        "value_counts",
+    )
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.schema = table.schema
+        self.attrs: tuple[EncodedAttribute, ...] = tuple(
+            EncodedAttribute(coll) for coll in self.schema.collections
+        )
+
+        n = table.num_records
+        r = self.schema.num_attributes
+        codes = np.empty((n, r), dtype=np.int32)
+        for j, coll in enumerate(self.schema.collections):
+            att = coll.attribute
+            codes[:, j] = [att.index_of(row[j]) for row in table.rows]
+        self.codes = codes
+
+        self.singleton_nodes = np.empty_like(codes)
+        for j, att in enumerate(self.attrs):
+            self.singleton_nodes[:, j] = att.singleton[codes[:, j]]
+
+        uniq, inverse, counts = np.unique(
+            codes, axis=0, return_inverse=True, return_counts=True
+        )
+        self.unique_codes = uniq.astype(np.int32)
+        self.unique_inverse = inverse.astype(np.int64)
+        self.unique_counts = counts.astype(np.int64)
+        self.unique_singleton_nodes = np.empty_like(self.unique_codes)
+        for j, att in enumerate(self.attrs):
+            self.unique_singleton_nodes[:, j] = att.singleton[self.unique_codes[:, j]]
+
+        self.value_counts = tuple(
+            np.bincount(codes[:, j], minlength=att.num_values).astype(np.int64)
+            for j, att in enumerate(self.attrs)
+        )
+
+    # ------------------------------------------------------------------ #
+    # shape accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_records(self) -> int:
+        """Number of records ``n``."""
+        return int(self.codes.shape[0])
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of public attributes ``r``."""
+        return int(self.codes.shape[1])
+
+    @property
+    def num_unique(self) -> int:
+        """Number of distinct rows ``u``."""
+        return int(self.unique_codes.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # closures and joins
+    # ------------------------------------------------------------------ #
+
+    def closure_of_records(self, indices: Iterable[int]) -> np.ndarray:
+        """Exact closure nodes of a set of records (one node per attribute).
+
+        Computed from the union of value sets per attribute (not by
+        iterated joins), so it is exact even for non-laminar collections.
+        """
+        idx = np.fromiter(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise SchemaError("closure of an empty record set is undefined")
+        nodes = np.empty(self.num_attributes, dtype=np.int32)
+        for j, att in enumerate(self.attrs):
+            values = np.unique(self.codes[idx, j])
+            nodes[j] = att.collection.closure_of_value_indices(values.tolist())
+        return nodes
+
+    def join_rows(self, nodes_a: np.ndarray, nodes_b: np.ndarray) -> np.ndarray:
+        """Vectorized per-attribute join of two node arrays.
+
+        ``nodes_a`` may be ``[r]`` or ``[*, r]``; ``nodes_b`` likewise;
+        standard numpy broadcasting applies along the leading axis.
+        """
+        nodes_a = np.asarray(nodes_a)
+        nodes_b = np.asarray(nodes_b)
+        out = np.empty(np.broadcast_shapes(nodes_a.shape, nodes_b.shape), dtype=np.int32)
+        a2 = np.broadcast_to(nodes_a, out.shape)
+        b2 = np.broadcast_to(nodes_b, out.shape)
+        for j, att in enumerate(self.attrs):
+            out[..., j] = att.join[a2[..., j], b2[..., j]]
+        return out
+
+    def consistency_mask(
+        self, record_index: int, gen_nodes: np.ndarray
+    ) -> np.ndarray:
+        """Boolean mask: which generalized records (rows of ``gen_nodes``,
+        shape ``[*, r]``) are consistent with original record ``record_index``
+        (Definition 3.3)."""
+        codes = self.codes[record_index]
+        gen_nodes = np.asarray(gen_nodes)
+        mask = np.ones(gen_nodes.shape[:-1], dtype=bool)
+        for j, att in enumerate(self.attrs):
+            mask &= att.anc[codes[j], gen_nodes[..., j]]
+        return mask
+
+    def consistency_mask_for_codes(
+        self, codes: np.ndarray, gen_nodes: np.ndarray
+    ) -> np.ndarray:
+        """Like :meth:`consistency_mask` but for an explicit code vector."""
+        gen_nodes = np.asarray(gen_nodes)
+        mask = np.ones(gen_nodes.shape[:-1], dtype=bool)
+        for j, att in enumerate(self.attrs):
+            mask &= att.anc[codes[j], gen_nodes[..., j]]
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # decoding
+    # ------------------------------------------------------------------ #
+
+    def decode_record(self, nodes: Sequence[int]) -> GeneralizedRecord:
+        """Turn a per-attribute node vector into a :class:`GeneralizedRecord`."""
+        return GeneralizedRecord(self.schema, [int(x) for x in nodes])
+
+    def decode_table(self, node_matrix: np.ndarray) -> GeneralizedTable:
+        """Turn an ``[n, r]`` node matrix into a :class:`GeneralizedTable`."""
+        node_matrix = np.asarray(node_matrix)
+        if node_matrix.shape != (self.num_records, self.num_attributes):
+            raise SchemaError(
+                f"node matrix has shape {node_matrix.shape}, expected "
+                f"{(self.num_records, self.num_attributes)}"
+            )
+        records = [self.decode_record(row) for row in node_matrix]
+        return GeneralizedTable(self.schema, records)
+
+    def encode_generalized(self, gtable: GeneralizedTable) -> np.ndarray:
+        """Turn a :class:`GeneralizedTable` into an ``[n, r]`` node matrix."""
+        if gtable.schema is not self.schema:
+            raise SchemaError("generalized table uses a different schema")
+        return np.array([rec.nodes for rec in gtable.records], dtype=np.int32)
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedTable(n={self.num_records}, r={self.num_attributes}, "
+            f"unique={self.num_unique})"
+        )

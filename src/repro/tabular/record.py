@@ -1,0 +1,124 @@
+"""Records and generalized records.
+
+A *record* (the paper's ``R_i``) is a tuple of values, one per public
+attribute.  A *generalized record* (``R̄_i``) is a tuple of permissible
+subsets, referenced by their node indices in each attribute's
+:class:`~repro.tabular.hierarchy.SubsetCollection`.
+
+These classes are thin, hashable value objects used at the API boundary;
+the O(n²) algorithms work on the numpy encoding instead
+(:mod:`repro.tabular.encoding`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.tabular.table import Schema
+
+
+class GeneralizedRecord:
+    """A generalized record: one permissible subset (node) per attribute.
+
+    Instances are immutable and hashable; two generalized records over the
+    same schema are equal iff they pick the same node in every attribute.
+    """
+
+    __slots__ = ("_schema", "_nodes")
+
+    def __init__(self, schema: "Schema", nodes: Sequence[int]) -> None:
+        if len(nodes) != len(schema.collections):
+            raise SchemaError(
+                f"expected {len(schema.collections)} nodes, got {len(nodes)}"
+            )
+        for node, coll in zip(nodes, schema.collections):
+            if not 0 <= node < coll.num_nodes:
+                raise SchemaError(
+                    f"node {node} out of range for attribute "
+                    f"{coll.attribute.name!r} ({coll.num_nodes} nodes)"
+                )
+        self._schema = schema
+        self._nodes = tuple(int(n) for n in nodes)
+
+    @property
+    def schema(self) -> "Schema":
+        """The schema the record's nodes refer to."""
+        return self._schema
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """Per-attribute node indices."""
+        return self._nodes
+
+    def values(self, attribute_index: int) -> frozenset[str]:
+        """The value subset this record holds in the given attribute."""
+        coll = self._schema.collections[attribute_index]
+        return coll.node_values(self._nodes[attribute_index])
+
+    def generalizes(self, record: Sequence[str]) -> bool:
+        """Consistency check (Definition 3.3): does this generalized record
+        generalize the plain record ``record``?"""
+        collections = self._schema.collections
+        if len(record) != len(collections):
+            raise SchemaError(
+                f"record has {len(record)} values, schema has {len(collections)}"
+            )
+        for value, node, coll in zip(record, self._nodes, collections):
+            if not coll.contains_value(node, coll.attribute.index_of(value)):
+                return False
+        return True
+
+    def generalizes_record(self, other: "GeneralizedRecord") -> bool:
+        """Whether every subset of ``self`` contains the matching subset of
+        ``other`` (i.e. ``self`` is at least as general as ``other``)."""
+        for coll, mine, theirs in zip(
+            self._schema.collections, self._nodes, other._nodes
+        ):
+            if not coll.node_indices(theirs) <= coll.node_indices(mine):
+                return False
+        return True
+
+    def join(self, other: "GeneralizedRecord") -> "GeneralizedRecord":
+        """The minimal generalized record generalizing both operands —
+        the paper's ``R̄_i + R̄_j`` operator (Section V-C)."""
+        if other._schema is not self._schema:
+            raise SchemaError(
+                "cannot join generalized records from different schemas"
+            )
+        nodes = [
+            coll.join(a, b)
+            for coll, a, b in zip(self._schema.collections, self._nodes, other._nodes)
+        ]
+        return GeneralizedRecord(self._schema, nodes)
+
+    def labels(self) -> tuple[str, ...]:
+        """Human-readable labels, one per attribute."""
+        return tuple(
+            coll.node_label(node)
+            for coll, node in zip(self._schema.collections, self._nodes)
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GeneralizedRecord):
+            return NotImplemented
+        return self._schema is other._schema and self._nodes == other._nodes
+
+    def __hash__(self) -> int:
+        return hash((id(self._schema), self._nodes))
+
+    def __repr__(self) -> str:
+        return "(" + ", ".join(self.labels()) + ")"
+
+
+def record_as_generalized(schema: "Schema", record: Sequence[str]) -> GeneralizedRecord:
+    """Embed a plain record as a generalized record of singletons."""
+    nodes = []
+    for value, coll in zip(record, schema.collections):
+        nodes.append(coll.singleton_node(coll.attribute.index_of(value)))
+    return GeneralizedRecord(schema, nodes)

@@ -1,0 +1,25 @@
+"""Workload-based utility evaluation: COUNT queries on releases.
+
+The operational counterpart of the information-loss measures — how
+accurately does each anonymized release answer an analyst's conjunctive
+COUNT queries under the uniform-spread estimator?
+"""
+
+from repro.utility.estimator import evaluate_estimated, query_errors
+from repro.utility.evaluation import (
+    WorkloadComparison,
+    WorkloadSummary,
+    compare_releases,
+)
+from repro.utility.queries import CountQuery, evaluate_exact, random_workload
+
+__all__ = [
+    "CountQuery",
+    "random_workload",
+    "evaluate_exact",
+    "evaluate_estimated",
+    "query_errors",
+    "compare_releases",
+    "WorkloadComparison",
+    "WorkloadSummary",
+]

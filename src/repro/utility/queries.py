@@ -1,0 +1,113 @@
+"""COUNT-query workloads over quasi-identifier attributes.
+
+The paper's motivation is publishing data "for the purposes of data
+mining or other types of statistical research"; the operational test of
+an anonymization's utility is therefore how well the release answers
+the analyst's queries.  This module defines the standard workload —
+conjunctive COUNT queries, each constraining a few attributes to value
+sets — a seeded random generator for them, and exact evaluation on the
+original table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.tabular.encoding import EncodedTable
+
+
+@dataclass(frozen=True)
+class CountQuery:
+    """SELECT COUNT(*) WHERE ⋀_j (A_j ∈ S_j) over constrained attributes.
+
+    ``predicates`` maps attribute index -> frozenset of admissible value
+    indices; unconstrained attributes are simply absent.
+    """
+
+    predicates: tuple[tuple[int, frozenset[int]], ...]
+
+    def describe(self, enc: EncodedTable) -> str:
+        """Human-readable rendering against a concrete schema."""
+        parts = []
+        for j, values in self.predicates:
+            att = enc.attrs[j].collection.attribute
+            shown = sorted(att.values[v] for v in values)
+            if len(shown) > 4:
+                shown = shown[:4] + ["..."]
+            parts.append(f"{att.name} ∈ {{{', '.join(shown)}}}")
+        return "COUNT WHERE " + " AND ".join(parts) if parts else "COUNT(*)"
+
+
+def evaluate_exact(enc: EncodedTable, query: CountQuery) -> int:
+    """The true answer on the original table."""
+    mask = np.ones(enc.num_records, dtype=bool)
+    for j, values in query.predicates:
+        allowed = np.zeros(enc.attrs[j].num_values, dtype=bool)
+        allowed[list(values)] = True
+        mask &= allowed[enc.codes[:, j]]
+    return int(mask.sum())
+
+
+def random_workload(
+    enc: EncodedTable,
+    num_queries: int = 200,
+    arity: int = 2,
+    seed: int = 0,
+    min_true_count: int = 1,
+    max_tries: int = 50,
+) -> list[CountQuery]:
+    """Generate a seeded random workload of conjunctive COUNT queries.
+
+    Each query constrains ``arity`` distinct attributes; per attribute
+    the admissible set is a random non-empty, non-full subset of the
+    domain, biased towards contiguous runs for integer-like domains
+    (matching the range predicates analysts actually write).  Queries
+    whose true answer is below ``min_true_count`` are resampled so
+    relative errors stay well-defined.
+
+    Raises
+    ------
+    ExperimentError
+        If the arity exceeds the attribute count, or non-empty queries
+        cannot be found within the retry budget.
+    """
+    r = enc.num_attributes
+    if arity > r:
+        raise ExperimentError(f"arity {arity} exceeds {r} attributes")
+    rng = np.random.default_rng(seed)
+    workload: list[CountQuery] = []
+    for _ in range(num_queries):
+        for _ in range(max_tries):
+            attrs = rng.choice(r, size=arity, replace=False)
+            predicates = []
+            for j in sorted(int(a) for a in attrs):
+                m = enc.attrs[j].num_values
+                if m < 2:
+                    predicates = []
+                    break
+                if rng.random() < 0.7:
+                    # Contiguous run of 1 .. m-1 values.
+                    width = int(rng.integers(1, m))
+                    start = int(rng.integers(0, m - width + 1))
+                    values = frozenset(range(start, start + width))
+                else:
+                    size = int(rng.integers(1, m))
+                    values = frozenset(
+                        int(v) for v in rng.choice(m, size=size, replace=False)
+                    )
+                predicates.append((j, values))
+            if not predicates:
+                continue
+            query = CountQuery(tuple(predicates))
+            if evaluate_exact(enc, query) >= min_true_count:
+                workload.append(query)
+                break
+        else:
+            raise ExperimentError(
+                "could not generate a non-empty query within the retry "
+                "budget; lower min_true_count or arity"
+            )
+    return workload

@@ -1,0 +1,88 @@
+"""Unit tests for attribute domains."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.tabular.attribute import Attribute, integer_attribute, validate_values
+
+
+class TestAttribute:
+    def test_basic_properties(self):
+        att = Attribute("color", ["red", "green", "blue"])
+        assert att.name == "color"
+        assert att.values == ("red", "green", "blue")
+        assert att.size == 3
+        assert len(att) == 3
+        assert list(att) == ["red", "green", "blue"]
+
+    def test_index_of(self):
+        att = Attribute("color", ["red", "green", "blue"])
+        assert att.index_of("red") == 0
+        assert att.index_of("blue") == 2
+
+    def test_index_of_unknown_raises(self):
+        att = Attribute("color", ["red"])
+        with pytest.raises(SchemaError, match="not in the domain"):
+            att.index_of("mauve")
+
+    def test_contains(self):
+        att = Attribute("color", ["red", "green"])
+        assert "red" in att
+        assert "mauve" not in att
+
+    def test_values_coerced_to_str(self):
+        att = Attribute("num", [1, 2, 3])
+        assert att.values == ("1", "2", "3")
+        assert att.index_of("2") == 1
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError, match="empty domain"):
+            Attribute("x", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            Attribute("", ["a"])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Attribute("x", ["a", "b", "a"])
+
+    def test_equality_and_hash(self):
+        a = Attribute("x", ["a", "b"])
+        b = Attribute("x", ["a", "b"])
+        c = Attribute("x", ["b", "a"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not an attribute"
+
+    def test_repr_small_and_large(self):
+        small = Attribute("x", ["a", "b"])
+        assert "a, b" in repr(small)
+        large = Attribute("y", [str(i) for i in range(20)])
+        assert "20 values" in repr(large)
+
+
+class TestIntegerAttribute:
+    def test_range(self):
+        att = integer_attribute("age", 5, 8)
+        assert att.values == ("5", "6", "7", "8")
+
+    def test_single_value(self):
+        att = integer_attribute("age", 5, 5)
+        assert att.values == ("5",)
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(SchemaError, match="high"):
+            integer_attribute("age", 8, 5)
+
+
+class TestValidateValues:
+    def test_accepts_domain_values(self):
+        att = Attribute("x", ["a", "b"])
+        validate_values(att, ["a", "b", "a"])
+
+    def test_rejects_foreign_value(self):
+        att = Attribute("x", ["a", "b"])
+        with pytest.raises(SchemaError):
+            validate_values(att, ["a", "z"])

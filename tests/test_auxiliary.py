@@ -1,0 +1,99 @@
+"""Unit tests for adversary 3 (auxiliary private knowledge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import anonymize
+from repro.datasets import load
+from repro.errors import AnonymityError, SchemaError
+from repro.privacy.adversary import Adversary2
+from repro.privacy.auxiliary import Adversary3, auxiliary_damage
+from repro.tabular.attribute import Attribute
+from repro.tabular.encoding import EncodedTable
+from repro.tabular.hierarchy import SubsetCollection
+from repro.tabular.table import Schema, Table
+
+
+@pytest.fixture(scope="module")
+def release():
+    table = load("art", n=120, seed=6, private=True)
+    enc = EncodedTable(table)
+    result = anonymize(table, k=4, notion="kk", encoded=enc)
+    return enc, result.node_matrix
+
+
+class TestAdversary3:
+    def test_no_knowledge_equals_adversary2(self, release):
+        enc, nodes = release
+        adv2 = Adversary2().attack(enc, nodes)
+        adv3 = Adversary3(known_records=[]).attack(enc, nodes)
+        assert adv3.candidates == adv2.candidates
+
+    def test_knowledge_only_shrinks(self, release):
+        enc, nodes = release
+        adv2 = Adversary2().attack(enc, nodes)
+        adv3 = Adversary3(range(0, 30)).attack(enc, nodes)
+        for before, after in zip(adv2.candidates, adv3.candidates):
+            assert after <= before
+
+    def test_known_record_candidates_share_its_value(self, release):
+        enc, nodes = release
+        sensitive = [row[0] for row in enc.table.private_rows]
+        known = [3, 7, 11]
+        adv3 = Adversary3(known).attack(enc, nodes)
+        for u in known:
+            for j in adv3.candidates[u]:
+                assert sensitive[j] == sensitive[u]
+
+    def test_identity_always_survives(self, release):
+        enc, nodes = release
+        adv3 = Adversary3(range(enc.num_records)).attack(enc, nodes)
+        for i, candidates in enumerate(adv3.candidates):
+            assert i in candidates
+
+    def test_requires_private_attribute(self, small_encoded):
+        with pytest.raises(SchemaError, match="private"):
+            Adversary3([0]).attack(
+                small_encoded, small_encoded.singleton_nodes
+            )
+
+    def test_unknown_attribute_name(self, release):
+        enc, nodes = release
+        with pytest.raises(SchemaError, match="no private attribute"):
+            Adversary3([0], sensitive_attribute="zzz").attack(enc, nodes)
+
+    def test_out_of_range_known_record(self, release):
+        enc, nodes = release
+        with pytest.raises(AnonymityError, match="out of range"):
+            Adversary3([10_000]).attack(enc, nodes)
+
+
+class TestCollateralDamage:
+    def test_handcrafted_propagation(self):
+        """Knowing record 0's sensitive value can re-identify record 1.
+
+        Two records share the published subset {a,b}; their sensitive
+        values differ.  Without auxiliary knowledge each has 2 matches;
+        knowing record 0's value pins both records exactly.
+        """
+        att = Attribute("v", ["a", "b"])
+        schema = Schema([SubsetCollection(att)], private_attributes=("z",))
+        table = Table(
+            schema, [("a",), ("b",)], [("flu",), ("cancer",)]
+        )
+        enc = EncodedTable(table)
+        full = np.array(
+            [[enc.attrs[0].full_node]] * 2, dtype=np.int32
+        )
+        adv2 = Adversary2().attack(enc, full)
+        assert all(len(c) == 2 for c in adv2.candidates)
+        damage = auxiliary_damage(enc, full, known_records=[0])
+        assert damage == {1: (2, 1)}
+
+    def test_damage_report_excludes_known(self, release):
+        enc, nodes = release
+        damage = auxiliary_damage(enc, nodes, known_records=range(0, 40))
+        for i in damage:
+            assert i >= 40
+        for before, after in damage.values():
+            assert after < before

@@ -1,0 +1,161 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("adult", "art", "cmc"):
+            assert name in out
+
+
+class TestAnonymize:
+    def test_builtin_dataset_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "rel.csv"
+        schema = tmp_path / "schema.json"
+        table = tmp_path / "orig.csv"
+        code = main(
+            [
+                "anonymize", "--dataset", "art", "--n", "60", "--k", "4",
+                "--notion", "kk", "--out", str(out),
+                "--schema-out", str(schema), "--table-out", str(table),
+            ]
+        )
+        assert code == 0
+        assert out.exists() and schema.exists() and table.exists()
+        printed = capsys.readouterr().out
+        assert "information loss" in printed
+
+        # Now audit what we wrote.
+        code = main(
+            [
+                "audit", "--schema", str(schema), "--table", str(table),
+                "--release", str(out), "--k", "4",
+            ]
+        )
+        assert code == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_csv_input(self, tmp_path, capsys):
+        # First produce a table + schema, then anonymize from the files.
+        out1 = tmp_path / "rel1.csv"
+        schema = tmp_path / "schema.json"
+        table = tmp_path / "orig.csv"
+        main(
+            [
+                "anonymize", "--dataset", "art", "--n", "40", "--k", "3",
+                "--out", str(out1), "--schema-out", str(schema),
+                "--table-out", str(table),
+            ]
+        )
+        out2 = tmp_path / "rel2.csv"
+        code = main(
+            [
+                "anonymize", "--input", str(table), "--schema", str(schema),
+                "--k", "3", "--notion", "k", "--algorithm", "forest",
+                "--out", str(out2),
+            ]
+        )
+        assert code == 0
+        assert out2.exists()
+
+    def test_input_requires_schema(self, tmp_path, capsys):
+        code = main(
+            ["anonymize", "--input", "x.csv", "--k", "3", "--out", "y.csv"]
+        )
+        assert code == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_dataset_and_input_conflict(self, capsys):
+        code = main(
+            [
+                "anonymize", "--dataset", "art", "--input", "x.csv",
+                "--k", "3", "--out", "y.csv",
+            ]
+        )
+        assert code == 2
+
+    def test_missing_source(self, capsys):
+        code = main(["anonymize", "--k", "3", "--out", "y.csv"])
+        assert code == 2
+
+    def test_missing_output(self, capsys):
+        code = main(["anonymize", "--dataset", "art", "--k", "3"])
+        assert code == 2
+        assert "bundle-out" in capsys.readouterr().err
+
+    def test_bundle_out(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        code = main(
+            [
+                "anonymize", "--dataset", "art", "--n", "50", "--k", "3",
+                "--bundle-out", str(bundle),
+            ]
+        )
+        assert code == 0
+        from repro.privacy.bundle import load_release
+
+        loaded = load_release(bundle)
+        assert loaded.k == 3
+        assert "risks" in loaded.manifest
+
+
+class TestAuditExitCode:
+    def test_unsafe_release_nonzero(self, tmp_path, capsys):
+        # Hand-write a weak release: publish every row unchanged.
+        from repro.datasets.registry import load
+        from repro.tabular.encoding import EncodedTable
+        from repro.tabular.io import (
+            write_generalized_csv,
+            write_schema_json,
+            write_table_csv,
+        )
+
+        table = load("art", n=30, seed=0)
+        enc = EncodedTable(table)
+        gt = enc.decode_table(enc.singleton_nodes)
+        schema = tmp_path / "s.json"
+        orig = tmp_path / "t.csv"
+        rel = tmp_path / "r.csv"
+        write_schema_json(table.schema, schema)
+        write_table_csv(table, orig)
+        write_generalized_csv(gt, rel)
+        code = main(
+            [
+                "audit", "--schema", str(schema), "--table", str(orig),
+                "--release", str(rel), "--k", "5",
+            ]
+        )
+        assert code == 1
+        assert "BREACHED" in capsys.readouterr().out
+
+
+class TestUtilityCommand:
+    def test_runs_and_ranks(self, capsys):
+        code = main(
+            ["utility", "--dataset", "art", "--n", "80", "--k", "4",
+             "--queries", "25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query-answering utility" in out
+        assert "(k,k)-anonymity" in out and "forest" in out
+
+
+class TestExperimentCommand:
+    def test_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Proposition 4.5" in out
+        assert "OK" in out
+
+    def test_scaling_like_smoke(self, capsys, monkeypatch):
+        # Keep the heavier experiment commands out of unit tests; fig1 is
+        # exercised above, the rest are covered by the benchmarks.  Here
+        # we only check the CLI wiring for an unknown-name error path.
+        with pytest.raises(SystemExit):
+            main(["experiment", "nonexistent"])

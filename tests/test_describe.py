@@ -1,0 +1,24 @@
+"""Unit tests for dataset descriptions and the verbose CLI listing."""
+
+from repro.cli import main
+from repro.datasets.describe import describe_dataset
+
+
+class TestDescribe:
+    def test_adult_description(self):
+        text = describe_dataset("adult", sample_n=150, seed=1)
+        assert "9 public attributes" in text
+        assert "income" in text
+        assert "age" in text and "native-country" in text
+        assert "paper size n = 5000" in text
+
+    def test_art_description(self):
+        text = describe_dataset("art", sample_n=100)
+        assert "A1" in text and "A6" in text
+        assert "condition" in text
+
+    def test_cli_verbose(self, capsys):
+        assert main(["datasets", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "top values" in out
+        assert "wife-age" in out  # cmc attribute

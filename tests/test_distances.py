@@ -1,0 +1,86 @@
+"""Unit tests for the cluster distance functions (Section V-A.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import (
+    LogNormalizedDelta,
+    NergizCliftonDelta,
+    PlainDelta,
+    RatioDistance,
+    WeightedDelta,
+    distance_names,
+    get_distance,
+)
+from repro.errors import ExperimentError
+
+
+class TestFormulas:
+    def test_weighted_delta_eq8(self):
+        d = WeightedDelta()
+        # |A|=2, d(A)=0.5; |B|=3, d(B)=1.0; d(A∪B)=2.0
+        assert d.evaluate(2, 0.5, 3, 1.0, 2.0) == pytest.approx(
+            5 * 2.0 - 2 * 0.5 - 3 * 1.0
+        )
+
+    def test_plain_delta_eq9(self):
+        d = PlainDelta()
+        assert d.evaluate(2, 0.5, 3, 1.0, 2.0) == pytest.approx(0.5)
+
+    def test_plain_delta_can_be_negative(self):
+        assert PlainDelta().evaluate(1, 1.0, 1, 1.0, 0.5) < 0
+
+    def test_log_normalized_eq10(self):
+        d = LogNormalizedDelta()
+        assert d.evaluate(2, 0.5, 2, 0.5, 2.0) == pytest.approx(
+            (2.0 - 1.0) / 2.0  # log2(4) = 2
+        )
+
+    def test_log_normalized_prioritizes_large_clusters(self):
+        d = LogNormalizedDelta()
+        small = d.evaluate(1, 0.0, 1, 0.0, 1.0)
+        large = d.evaluate(30, 0.0, 1, 0.0, 1.0)
+        assert large < small
+
+    def test_ratio_eq11(self):
+        d = RatioDistance(epsilon=0.1)
+        assert d.evaluate(1, 0.0, 1, 0.0, 1.0) == pytest.approx(1.0 / 0.1)
+        assert d.evaluate(2, 1.0, 2, 1.0, 3.0) == pytest.approx(3.0 / 2.1)
+
+    def test_ratio_epsilon_validation(self):
+        with pytest.raises(ExperimentError, match="positive"):
+            RatioDistance(epsilon=0.0)
+
+    def test_nc_asymmetric(self):
+        d = NergizCliftonDelta()
+        assert d.evaluate(1, 0.7, 1, 0.2, 1.0) == pytest.approx(0.8)
+        assert d.evaluate(1, 0.2, 1, 0.7, 1.0) == pytest.approx(0.3)
+
+
+class TestVectorization:
+    @pytest.mark.parametrize("name", ["d1", "d2", "d3", "d4", "nc"])
+    def test_vector_matches_scalar(self, name):
+        d = get_distance(name)
+        sizes_b = np.array([1, 2, 5])
+        costs_b = np.array([0.0, 0.3, 1.2])
+        cost_u = np.array([0.5, 0.9, 1.4])
+        vec = np.asarray(d.evaluate(2, 0.4, sizes_b, costs_b, cost_u))
+        for i in range(3):
+            scalar = d.evaluate(
+                2, 0.4, int(sizes_b[i]), float(costs_b[i]), float(cost_u[i])
+            )
+            assert vec[i] == pytest.approx(float(scalar))
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in distance_names():
+            assert get_distance(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown distance"):
+            get_distance("d9")
+
+    def test_equations_documented(self):
+        assert get_distance("d1").equation == "(8)"
+        assert get_distance("d4").equation == "(11)"

@@ -1,0 +1,19 @@
+"""Run the doctests embedded in module docstrings/APIs."""
+
+import doctest
+
+import pytest
+
+import repro.tabular.hierarchy
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.tabular.hierarchy,
+    ],
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module}"
+    assert results.attempted >= 1  # the module does carry doctests

@@ -1,0 +1,54 @@
+"""Freshness tests for the example scripts.
+
+Each example runs as a subprocess (small parameters where supported) and
+must exit cleanly with its signature output present — so the examples
+cannot silently rot as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "verified against their anonymity notions" in out
+        assert "(k,k)-anonymity" in out
+
+    def test_hospital_release(self):
+        out = _run("hospital_release.py", "120", "5")
+        assert "Privacy audit" in out
+        assert "reload check" in out
+
+    def test_adversary_audit(self):
+        out = _run("adversary_audit.py")
+        assert "re-identifies" in out
+        assert "DEFEATED" in out
+
+    def test_survey_ldiversity(self):
+        out = _run("survey_ldiversity.py")
+        assert "diverse" in out
+
+    def test_custom_hierarchy(self):
+        out = _run("custom_hierarchy.py")
+        assert "release written by the CLI" in out
+
+    def test_query_workload(self):
+        out = _run("query_workload.py", "150", "6")
+        assert "most useful release" in out

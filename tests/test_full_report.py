@@ -1,0 +1,52 @@
+"""Unit test for the one-shot reproduction report (tiny scale)."""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.full_report import generate_full_report
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = ExperimentConfig(
+        sizes={"art": 70, "adult": 70, "cmc": 70}, ks=(3, 5), seed=2
+    )
+    runner = ExperimentRunner(config)
+    return generate_full_report(
+        runner, include_variance=False, include_epsilon=False
+    )
+
+
+class TestFullReport:
+    def test_all_sections_present(self, report):
+        for section in (
+            "CONFIGURATION",
+            "TABLE I",
+            "FIGURE 1",
+            "FIGURE 2",
+            "FIGURE 3",
+            "ABLATIONS",
+            "G1",
+            "END OF REPORT",
+        ):
+            assert section in report, section
+
+    def test_shape_check_reported(self, report):
+        assert "shape check" in report
+
+    def test_figure1_inclusions_ok(self, report):
+        assert "inclusions: OK" in report
+
+    def test_ablation_rankings_listed(self, report):
+        assert "A1 distance ranking" in report
+
+    def test_cli_all_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_N", "60")
+        from repro.cli import main
+
+        out = tmp_path / "report.txt"
+        code = main(["experiment", "all", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "TABLE I" in out.read_text()

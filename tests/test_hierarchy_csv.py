@@ -1,0 +1,103 @@
+"""Unit tests for ARX-style hierarchy CSV import/export."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.tabular.attribute import Attribute
+from repro.tabular.hierarchy import SubsetCollection, from_groups
+from repro.tabular.hierarchy_csv import read_hierarchy_csv, write_hierarchy_csv
+
+
+class TestRead:
+    def test_basic_two_level(self, tmp_path):
+        path = tmp_path / "edu.csv"
+        path.write_text(
+            "hs;school;*\n"
+            "college;school;*\n"
+            "ba;higher;*\n"
+            "ma;higher;*\n"
+        )
+        coll = read_hierarchy_csv("edu", path)
+        assert coll.attribute.values == ("hs", "college", "ba", "ma")
+        assert coll.is_laminar
+        school = coll.node_of_values(["hs", "college"])
+        assert coll.node_values(school) == frozenset(["hs", "college"])
+        assert coll.closure_of_values(["hs", "ba"]) == coll.full_node
+
+    def test_single_column_is_suppression_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a\nb\nc\n")
+        coll = read_hierarchy_csv("x", path)
+        assert coll.num_nodes == 4  # singletons + full
+
+    def test_unbalanced_groups(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a;g1\nb;g1\nc;g2\nd;g2\ne;g2\n")
+        coll = read_hierarchy_csv("x", path)
+        assert coll.node_size(coll.node_of_values(["c", "d", "e"])) == 3
+
+    def test_whitespace_and_blank_lines(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text(" a ; g \n\nb;g\n")
+        coll = read_hierarchy_csv("x", path)
+        assert coll.attribute.values == ("a", "b")
+        assert coll.node_of_values(["a", "b"]) is not None
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,g\nb,g\n")
+        coll = read_hierarchy_csv("x", path, delimiter=",")
+        assert coll.attribute.size == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_hierarchy_csv("x", path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a;g1;h1\nb;g1\n")
+        with pytest.raises(SchemaError, match="ragged"):
+            read_hierarchy_csv("x", path)
+
+    def test_duplicate_values_rejected(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a;g\na;g\n")
+        with pytest.raises(SchemaError, match="duplicate"):
+            read_hierarchy_csv("x", path)
+
+
+class TestRoundTrip:
+    def test_write_then_read_equivalent(self, tmp_path):
+        att = Attribute("edu", ["hs", "college", "ba", "ma", "phd"])
+        original = from_groups(att, [["hs", "college"], ["ma", "phd"]])
+        path = tmp_path / "out.csv"
+        write_hierarchy_csv(original, path)
+        loaded = read_hierarchy_csv("edu", path)
+        assert loaded.attribute.values == original.attribute.values
+        original_sets = {
+            original.node_values(n) for n in range(original.num_nodes)
+        }
+        loaded_sets = {
+            loaded.node_values(n) for n in range(loaded.num_nodes)
+        }
+        assert loaded_sets == original_sets
+
+    def test_roundtrip_dataset_hierarchies(self, tmp_path):
+        from repro.datasets import schema_of
+
+        schema = schema_of("cmc")
+        for i, coll in enumerate(schema.collections):
+            path = tmp_path / f"h{i}.csv"
+            write_hierarchy_csv(coll, path)
+            loaded = read_hierarchy_csv(coll.attribute.name, path)
+            got = {loaded.node_values(n) for n in range(loaded.num_nodes)}
+            want = {coll.node_values(n) for n in range(coll.num_nodes)}
+            assert got == want, coll.attribute.name
+
+    def test_non_laminar_rejected(self, tmp_path):
+        att = Attribute("x", ["a", "b", "c"])
+        coll = SubsetCollection(att, [["a", "b"], ["b", "c"]])
+        with pytest.raises(SchemaError, match="non-laminar"):
+            write_hierarchy_csv(coll, tmp_path / "h.csv")

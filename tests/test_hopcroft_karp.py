@@ -1,0 +1,106 @@
+"""Unit tests for Hopcroft–Karp, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.matching.hopcroft_karp import (
+    UNMATCHED,
+    has_perfect_matching,
+    hopcroft_karp,
+)
+
+
+def _nx_max_matching_size(adj, num_right):
+    graph = nx.Graph()
+    left = [("L", u) for u in range(len(adj))]
+    graph.add_nodes_from(left, bipartite=0)
+    graph.add_nodes_from((("R", v) for v in range(num_right)), bipartite=1)
+    for u, neigh in enumerate(adj):
+        for v in neigh:
+            graph.add_edge(("L", u), ("R", v))
+    matching = nx.bipartite.maximum_matching(graph, top_nodes=left)
+    return len(matching) // 2
+
+
+def _check_valid(adj, match_left, match_right, size):
+    seen_right = set()
+    count = 0
+    for u, v in enumerate(match_left):
+        if v == UNMATCHED:
+            continue
+        assert v in adj[u], "matched edge must exist"
+        assert v not in seen_right, "right vertex matched twice"
+        assert match_right[v] == u, "match arrays inconsistent"
+        seen_right.add(v)
+        count += 1
+    assert count == size
+
+
+class TestHopcroftKarp:
+    def test_empty_graph(self):
+        match_left, match_right, size = hopcroft_karp([], 0)
+        assert size == 0 and match_left == [] and match_right == []
+
+    def test_no_edges(self):
+        match_left, _, size = hopcroft_karp([[], []], 2)
+        assert size == 0
+        assert match_left == [UNMATCHED, UNMATCHED]
+
+    def test_perfect_square(self):
+        adj = [[0], [1], [2]]
+        _, _, size = hopcroft_karp(adj, 3)
+        assert size == 3
+        assert has_perfect_matching(adj, 3)
+
+    def test_augmenting_path_needed(self):
+        # Greedy 0->0 then 1 stuck; HK must reroute through an
+        # alternating path.
+        adj = [[0, 1], [0]]
+        match_left, match_right, size = hopcroft_karp(adj, 2)
+        assert size == 2
+        _check_valid(adj, match_left, match_right, size)
+
+    def test_long_alternating_chain(self):
+        # l_i adj {r_i, r_{i+1}} except the last; forces chained reroutes.
+        n = 50
+        adj = [[i, i + 1] if i + 1 < n else [i] for i in range(n)]
+        _, _, size = hopcroft_karp(adj, n)
+        assert size == n
+
+    def test_imperfect_matching(self):
+        adj = [[0], [0], [0]]
+        _, _, size = hopcroft_karp(adj, 1)
+        assert size == 1
+        assert not has_perfect_matching(adj, 1)
+
+    def test_sides_mismatch_not_perfect(self):
+        assert not has_perfect_matching([[0, 1]], 2)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_graphs_match_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        num_left = int(rng.integers(1, 16))
+        num_right = int(rng.integers(1, 16))
+        p = rng.uniform(0.05, 0.5)
+        adj = [
+            sorted(
+                int(v) for v in np.flatnonzero(rng.random(num_right) < p)
+            )
+            for _ in range(num_left)
+        ]
+        match_left, match_right, size = hopcroft_karp(adj, num_right)
+        _check_valid(adj, match_left, match_right, size)
+        assert size == _nx_max_matching_size(adj, num_right)
+
+    def test_large_random_graph(self):
+        rng = np.random.default_rng(7)
+        n = 300
+        adj = [
+            sorted(set(rng.integers(0, n, size=4).tolist()) | {u})
+            for u in range(n)
+        ]
+        match_left, match_right, size = hopcroft_karp(adj, n)
+        _check_valid(adj, match_left, match_right, size)
+        # Identity edge u-u guarantees a perfect matching exists.
+        assert size == n

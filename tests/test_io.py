@@ -1,0 +1,132 @@
+"""Unit tests for CSV/JSON round-tripping."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.tabular.io import (
+    read_generalized_csv,
+    read_schema_json,
+    read_table_csv,
+    schema_from_dict,
+    schema_to_dict,
+    write_generalized_csv,
+    write_schema_json,
+    write_table_csv,
+)
+from repro.tabular.attribute import Attribute
+from repro.tabular.hierarchy import SubsetCollection
+from repro.tabular.table import Schema, Table
+
+
+class TestSchemaJson:
+    def test_roundtrip(self, two_attr_schema, tmp_path):
+        path = tmp_path / "schema.json"
+        write_schema_json(two_attr_schema, path)
+        loaded = read_schema_json(path)
+        assert loaded.attribute_names == two_attr_schema.attribute_names
+        for a, b in zip(loaded.collections, two_attr_schema.collections):
+            assert a.num_nodes == b.num_nodes
+            for n in range(a.num_nodes):
+                assert a.node_values(n) == b.node_values(n)
+
+    def test_roundtrip_private(self, tmp_path):
+        att = Attribute("a", ["1", "2"])
+        schema = Schema([SubsetCollection(att)], private_attributes=("z",))
+        path = tmp_path / "schema.json"
+        write_schema_json(schema, path)
+        assert read_schema_json(path).private_attributes == ("z",)
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(SchemaError, match="attributes"):
+            schema_from_dict({"nope": []})
+
+    def test_dict_omits_trivial_subsets(self, two_attr_schema):
+        data = schema_to_dict(two_attr_schema)
+        for spec in data["attributes"]:
+            for subset in spec["subsets"]:
+                assert 1 < len(subset) < len(spec["values"])
+
+
+class TestTableCsv:
+    def test_roundtrip(self, small_table, tmp_path):
+        path = tmp_path / "table.csv"
+        write_table_csv(small_table, path)
+        loaded = read_table_csv(small_table.schema, path)
+        assert loaded.rows == small_table.rows
+
+    def test_roundtrip_with_private(self, tmp_path):
+        att = Attribute("a", ["1", "2"])
+        schema = Schema([SubsetCollection(att)], private_attributes=("z",))
+        table = Table(schema, [("1",), ("2",)], [("p",), ("q",)])
+        path = tmp_path / "t.csv"
+        write_table_csv(table, path)
+        loaded = read_table_csv(schema, path)
+        assert loaded.private_rows == (("p",), ("q",))
+
+    def test_header_mismatch_rejected(self, small_table, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("wrong,header\n1,2\n")
+        with pytest.raises(SchemaError, match="header"):
+            read_table_csv(small_table.schema, path)
+
+    def test_empty_file_rejected(self, small_table, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_table_csv(small_table.schema, path)
+
+
+class TestGeneralizedCsv:
+    def test_roundtrip_all_label_kinds(self, small_table, tmp_path):
+        # Anonymize for real so the file contains singletons, ranges,
+        # braces and stars.
+        from repro.core.api import anonymize
+
+        result = anonymize(small_table, k=5, notion="k", measure="lm")
+        path = tmp_path / "release.csv"
+        write_generalized_csv(result.generalized, path)
+        loaded = read_generalized_csv(small_table.schema, path)
+        assert loaded.num_records == result.generalized.num_records
+        for a, b in zip(loaded.records, result.generalized.records):
+            assert a.nodes == b.nodes
+
+    def test_private_columns_written(self, tmp_path):
+        att = Attribute("a", ["1", "2"])
+        schema = Schema([SubsetCollection(att)])
+        table = Table(schema, [("1",), ("2",)])
+        from repro.tabular.record import record_as_generalized
+        from repro.tabular.table import GeneralizedTable
+
+        gt = GeneralizedTable(
+            schema, [record_as_generalized(schema, r) for r in table.rows]
+        )
+        path = tmp_path / "rel.csv"
+        write_generalized_csv(gt, path, private_rows=[("s1",), ("s2",)])
+        text = path.read_text()
+        assert "s1" in text and "s2" in text
+
+    def test_private_length_mismatch(self, tmp_path):
+        att = Attribute("a", ["1"])
+        schema = Schema([SubsetCollection(att)])
+        table = Table(schema, [("1",)])
+        from repro.tabular.record import record_as_generalized
+        from repro.tabular.table import GeneralizedTable
+
+        gt = GeneralizedTable(
+            schema, [record_as_generalized(schema, r) for r in table.rows]
+        )
+        with pytest.raises(SchemaError, match="private rows"):
+            write_generalized_csv(gt, tmp_path / "rel.csv", private_rows=[])
+
+    def test_unparseable_cell_rejected(self, small_table, tmp_path):
+        path = tmp_path / "rel.csv"
+        names = ",".join(small_table.schema.attribute_names)
+        path.write_text(f"{names}\n???,hs\n")
+        with pytest.raises(SchemaError, match="cannot parse"):
+            read_generalized_csv(small_table.schema, path)
+
+    def test_wrong_header_rejected(self, small_table, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(SchemaError, match="header"):
+            read_generalized_csv(small_table.schema, path)

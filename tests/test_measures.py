@@ -1,0 +1,340 @@
+"""Unit tests for the information-loss measures and the cost model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.measures.base import CostModel, evaluate_record_measure
+from repro.measures.classification import ClassificationMeasure
+from repro.measures.discernibility import DiscernibilityMeasure
+from repro.measures.entropy import EntropyMeasure, NonUniformEntropyMeasure
+from repro.measures.lm import LMMeasure
+from repro.measures.registry import get_measure, measure_names
+from repro.measures.tree import TreeMeasure
+from repro.tabular.attribute import Attribute
+from repro.tabular.encoding import EncodedAttribute, EncodedTable
+from repro.tabular.hierarchy import SubsetCollection
+from repro.tabular.table import Schema, Table
+
+
+def _enc_attr(values, subsets=()):
+    att = Attribute("x", values)
+    return EncodedAttribute(SubsetCollection(att, subsets))
+
+
+class TestEntropyMeasure:
+    def test_singletons_cost_zero(self):
+        enc = _enc_attr(["a", "b", "c"])
+        costs = EntropyMeasure().node_costs(enc, np.array([5, 3, 2]))
+        for v in range(3):
+            assert costs[enc.singleton[v]] == 0.0
+
+    def test_full_node_is_attribute_entropy(self):
+        enc = _enc_attr(["a", "b"])
+        costs = EntropyMeasure().node_costs(enc, np.array([1, 1]))
+        assert costs[enc.full_node] == pytest.approx(1.0)
+
+    def test_skewed_distribution_cheaper(self):
+        enc = _enc_attr(["a", "b"])
+        uniform = EntropyMeasure().node_costs(enc, np.array([5, 5]))
+        skewed = EntropyMeasure().node_costs(enc, np.array([9, 1]))
+        assert skewed[enc.full_node] < uniform[enc.full_node]
+        expected = -(0.9 * math.log2(0.9) + 0.1 * math.log2(0.1))
+        assert skewed[enc.full_node] == pytest.approx(expected)
+
+    def test_zero_count_values_ignored(self):
+        enc = _enc_attr(["a", "b", "c"])
+        costs = EntropyMeasure().node_costs(enc, np.array([5, 5, 0]))
+        # H over {a,b,c} equals H over {a,b} since c never occurs.
+        assert costs[enc.full_node] == pytest.approx(1.0)
+
+    def test_all_zero_subset_uniform_fallback(self):
+        enc = _enc_attr(["a", "b", "c", "d"], [["c", "d"]])
+        costs = EntropyMeasure().node_costs(enc, np.array([5, 5, 0, 0]))
+        cd = enc.collection.node_of_values(["c", "d"])
+        assert costs[cd] == pytest.approx(1.0)  # log2 |{c,d}|
+
+    def test_entropy_not_monotone_in_subset_size(self):
+        # The paper's d2 distance can go negative because H(X|B) is not
+        # monotone: adding a dominant value can *reduce* entropy.
+        enc = _enc_attr(["a", "b", "c"], [["a", "b"]])
+        costs = EntropyMeasure().node_costs(enc, np.array([1, 1, 98]))
+        ab = enc.collection.node_of_values(["a", "b"])
+        assert costs[enc.full_node] < costs[ab]
+
+
+class TestLMMeasure:
+    def test_values(self):
+        enc = _enc_attr(["a", "b", "c", "d", "e"], [["a", "b", "c"]])
+        costs = LMMeasure().node_costs(enc, np.array([1] * 5))
+        assert costs[enc.singleton[0]] == 0.0
+        abc = enc.collection.node_of_values(["a", "b", "c"])
+        assert costs[abc] == pytest.approx(2 / 4)
+        assert costs[enc.full_node] == pytest.approx(1.0)
+
+    def test_data_independent(self):
+        enc = _enc_attr(["a", "b"])
+        c1 = LMMeasure().node_costs(enc, np.array([1, 9]))
+        c2 = LMMeasure().node_costs(enc, np.array([5, 5]))
+        assert np.array_equal(c1, c2)
+
+    def test_single_value_domain(self):
+        enc = _enc_attr(["only"])
+        costs = LMMeasure().node_costs(enc, np.array([7]))
+        assert (costs == 0).all()
+
+
+class TestTreeMeasure:
+    def test_three_level_hierarchy(self):
+        enc = _enc_attr(["a", "b", "c", "d"], [["a", "b"], ["c", "d"]])
+        costs = TreeMeasure().node_costs(enc, np.array([1] * 4))
+        ab = enc.collection.node_of_values(["a", "b"])
+        assert costs[enc.singleton[0]] == 0.0
+        assert costs[ab] == pytest.approx(0.5)
+        assert costs[enc.full_node] == pytest.approx(1.0)
+
+    def test_rejects_non_laminar(self):
+        enc = _enc_attr(["a", "b", "c"], [["a", "b"], ["b", "c"]])
+        with pytest.raises(SchemaError, match="laminar"):
+            TreeMeasure().node_costs(enc, np.array([1, 1, 1]))
+
+    def test_flat_hierarchy(self):
+        enc = _enc_attr(["a", "b"])
+        costs = TreeMeasure().node_costs(enc, np.array([1, 1]))
+        assert costs[enc.full_node] == pytest.approx(1.0)
+
+
+class TestNonUniformEntropy:
+    def test_entry_costs(self):
+        enc = _enc_attr(["a", "b"])
+        table = NonUniformEntropyMeasure().entry_costs(enc, np.array([3, 1]))
+        full = enc.full_node
+        assert table[0, full] == pytest.approx(-math.log2(3 / 4))
+        assert table[1, full] == pytest.approx(-math.log2(1 / 4))
+        assert table[0, enc.singleton[0]] == 0.0
+
+    def test_evaluate_on_generalization(self, small_encoded):
+        full = np.array(
+            [[a.full_node for a in small_encoded.attrs]]
+            * small_encoded.num_records,
+            dtype=np.int32,
+        )
+        loss = evaluate_record_measure(
+            small_encoded, NonUniformEntropyMeasure(), full
+        )
+        # NE of full suppression ≥ EM of full suppression (Jensen).
+        em = CostModel(small_encoded, EntropyMeasure()).table_cost(full)
+        assert loss >= em - 1e-9
+
+    def test_identity_is_free(self, small_encoded):
+        loss = evaluate_record_measure(
+            small_encoded, NonUniformEntropyMeasure(),
+            small_encoded.singleton_nodes,
+        )
+        assert loss == pytest.approx(0.0)
+
+    def test_shape_check(self, small_encoded):
+        with pytest.raises(SchemaError, match="shape"):
+            evaluate_record_measure(
+                small_encoded, NonUniformEntropyMeasure(),
+                np.zeros((2, 2), dtype=np.int32),
+            )
+
+
+class TestClusteringMeasures:
+    def _table_with_class(self):
+        att = Attribute("a", ["1", "2"])
+        schema = Schema([SubsetCollection(att)], private_attributes=("cls",))
+        rows = [("1",), ("1",), ("2",), ("2",)]
+        priv = [("x",), ("x",), ("x",), ("y",)]
+        return EncodedTable(Table(schema, rows, priv))
+
+    def test_dm(self):
+        enc = self._table_with_class()
+        dm = DiscernibilityMeasure()
+        assert dm.clustering_cost(enc, [[0, 1], [2, 3]]) == pytest.approx(
+            (4 + 4) / 16
+        )
+        assert dm.clustering_cost(enc, [[0, 1, 2, 3]]) == pytest.approx(1.0)
+
+    def test_dm_requires_partition(self):
+        enc = self._table_with_class()
+        with pytest.raises(SchemaError, match="covers"):
+            DiscernibilityMeasure().clustering_cost(enc, [[0, 1]])
+
+    def test_cm(self):
+        enc = self._table_with_class()
+        cm = ClassificationMeasure()
+        # Cluster {2,3} has labels {x,y}: one record outvoted.
+        assert cm.clustering_cost(enc, [[0, 1], [2, 3]]) == pytest.approx(0.25)
+        assert cm.clustering_cost(enc, [[0, 1], [2], [3]]) == pytest.approx(0.0)
+
+    def test_cm_requires_private_attribute(self, small_encoded):
+        with pytest.raises(SchemaError, match="private"):
+            ClassificationMeasure().clustering_cost(
+                small_encoded, [list(range(30))]
+            )
+
+    def test_cm_unknown_attribute(self):
+        enc = self._table_with_class()
+        with pytest.raises(SchemaError, match="no private attribute"):
+            ClassificationMeasure("nope").clustering_cost(enc, [[0, 1, 2, 3]])
+
+
+class TestCostModel:
+    def test_identity_generalization_is_free(self, entropy_model):
+        assert entropy_model.table_cost(
+            entropy_model.enc.singleton_nodes
+        ) == pytest.approx(0.0)
+
+    def test_full_suppression_is_max(self, entropy_model):
+        enc = entropy_model.enc
+        full = np.array(
+            [[a.full_node for a in enc.attrs]] * enc.num_records, dtype=np.int32
+        )
+        cost_full = entropy_model.table_cost(full)
+        # Any other uniform generalization costs no more than suppression.
+        assert cost_full > 0
+        assert entropy_model.record_cost(
+            np.array([a.full_node for a in enc.attrs])
+        ) == pytest.approx(cost_full)
+
+    def test_record_cost_vectorized_matches_scalar(self, entropy_model):
+        enc = entropy_model.enc
+        nodes = enc.singleton_nodes[:4]
+        vector = entropy_model.record_cost(nodes)
+        for i in range(4):
+            assert vector[i] == pytest.approx(
+                entropy_model.record_cost(nodes[i])
+            )
+
+    def test_cluster_cost_equals_closure_cost(self, entropy_model):
+        enc = entropy_model.enc
+        closure = enc.closure_of_records([0, 1, 2])
+        assert entropy_model.cluster_cost([0, 1, 2]) == pytest.approx(
+            float(entropy_model.record_cost(closure))
+        )
+
+    def test_clustering_cost_is_weighted_mean(self, entropy_model):
+        n = entropy_model.enc.num_records
+        clusters = [list(range(0, n // 2)), list(range(n // 2, n))]
+        expected = (
+            len(clusters[0]) * entropy_model.cluster_cost(clusters[0])
+            + len(clusters[1]) * entropy_model.cluster_cost(clusters[1])
+        ) / n
+        assert entropy_model.clustering_cost(clusters) == pytest.approx(expected)
+
+    def test_clustering_cost_requires_partition(self, entropy_model):
+        with pytest.raises(SchemaError, match="covers"):
+            entropy_model.clustering_cost([[0, 1]])
+
+    def test_table_cost_shape_check(self, entropy_model):
+        with pytest.raises(SchemaError, match="rows"):
+            entropy_model.table_cost(np.zeros((2, 2), dtype=np.int32))
+
+
+class TestWeightedCostModel:
+    def test_uniform_weights_are_identity(self, small_encoded):
+        plain = CostModel(small_encoded, EntropyMeasure())
+        weighted = CostModel(
+            small_encoded, EntropyMeasure(), weights=[1.0, 1.0]
+        )
+        for a, b in zip(plain.node_costs, weighted.node_costs):
+            assert np.allclose(a, b)
+
+    def test_weights_reweigh_attributes(self, small_encoded):
+        enc = small_encoded
+        # All weight on attribute 0: suppressing attribute 1 becomes free.
+        model = CostModel(enc, EntropyMeasure(), weights=[1.0, 0.0])
+        nodes = enc.singleton_nodes.copy()
+        nodes[:, 1] = enc.attrs[1].full_node
+        assert model.table_cost(nodes) == pytest.approx(0.0)
+        nodes2 = enc.singleton_nodes.copy()
+        nodes2[:, 0] = enc.attrs[0].full_node
+        assert model.table_cost(nodes2) > 0
+
+    def test_normalization_preserves_scale(self, small_encoded):
+        """Doubling all weights changes nothing (normalized to mean 1)."""
+        m1 = CostModel(small_encoded, EntropyMeasure(), weights=[1.0, 3.0])
+        m2 = CostModel(small_encoded, EntropyMeasure(), weights=[2.0, 6.0])
+        for a, b in zip(m1.node_costs, m2.node_costs):
+            assert np.allclose(a, b)
+
+    def test_invalid_weights_rejected(self, small_encoded):
+        with pytest.raises(SchemaError, match="weights"):
+            CostModel(small_encoded, EntropyMeasure(), weights=[1.0])
+        with pytest.raises(SchemaError, match="non-negative"):
+            CostModel(small_encoded, EntropyMeasure(), weights=[1.0, -1.0])
+        with pytest.raises(SchemaError, match="positive sum"):
+            CostModel(small_encoded, EntropyMeasure(), weights=[0.0, 0.0])
+
+    def test_weighted_anonymization_protects_heavy_attribute(self, small_table):
+        """The agglomerative engine optimizes the weighted objective:
+        putting weight on 'edu' should keep edu cells less generalized."""
+        from repro.core.agglomerative import agglomerative_clustering
+        from repro.core.clustering import clustering_to_nodes
+        from repro.core.distances import get_distance
+        from repro.tabular.encoding import EncodedTable
+
+        enc = EncodedTable(small_table)
+        heavy_edu = CostModel(enc, EntropyMeasure(), weights=[0.1, 1.9])
+        heavy_age = CostModel(enc, EntropyMeasure(), weights=[1.9, 0.1])
+        plain = CostModel(enc, EntropyMeasure())
+
+        def edu_loss(model):
+            clustering = agglomerative_clustering(model, 4, get_distance("d3"))
+            nodes = clustering_to_nodes(enc, clustering)
+            return float(
+                np.mean(plain.node_costs[1][nodes[:, 1]] / plain.weights[1])
+            )
+
+        assert edu_loss(heavy_edu) <= edu_loss(heavy_age) + 1e-9
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert get_measure("entropy").name == "entropy"
+        assert get_measure("EM").name == "entropy"
+        assert get_measure("lm").name == "lm"
+        assert get_measure("tree").name == "tree"
+
+    def test_unknown_name(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="unknown measure"):
+            get_measure("nope")
+
+    def test_measure_names(self):
+        assert set(measure_names()) == {"entropy", "lm", "tree", "mw"}
+
+    def test_mw_alias(self):
+        assert get_measure("suppression").name == "mw"
+
+
+class TestSuppressionMeasure:
+    def test_zero_one_costs(self):
+        from repro.measures.suppression import SuppressionMeasure
+
+        enc = _enc_attr(["a", "b", "c"], [["a", "b"]])
+        costs = SuppressionMeasure().node_costs(enc, np.array([1, 1, 1]))
+        for v in range(3):
+            assert costs[enc.singleton[v]] == 0.0
+        ab = enc.collection.node_of_values(["a", "b"])
+        assert costs[ab] == 1.0
+        assert costs[enc.full_node] == 1.0
+
+    def test_counts_suppressed_entries_on_mw_model(self, small_table):
+        """On suppression-only collections the measure equals the
+        Meyerson–Williams suppressed-entry fraction."""
+        from repro.core.api import anonymize
+        from repro.tabular.table import Schema, Table
+
+        schema = Schema.of_attributes(small_table.schema.attributes)
+        table = Table(schema, small_table.rows)
+        result = anonymize(table, k=3, measure="mw")
+        labels = result.generalized.labels()
+        suppressed = sum(cell == "*" for row in labels for cell in row)
+        total = len(labels) * len(labels[0])
+        assert result.cost == pytest.approx(suppressed / total)

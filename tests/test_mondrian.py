@@ -1,0 +1,83 @@
+"""Unit tests for the Mondrian-style top-down partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import clustering_to_nodes
+from repro.core.mondrian import mondrian_clustering
+from repro.core.notions import is_k_anonymous
+from repro.errors import AnonymityError
+from repro.measures.base import CostModel
+from repro.measures.entropy import EntropyMeasure
+from repro.tabular.encoding import EncodedTable
+from tests.conftest import make_random_table
+
+
+class TestMondrian:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_cluster_sizes_at_least_k(self, entropy_model, k):
+        clustering = mondrian_clustering(entropy_model, k)
+        assert clustering.min_cluster_size() >= k
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_produces_k_anonymity(self, entropy_model, k):
+        clustering = mondrian_clustering(entropy_model, k)
+        nodes = clustering_to_nodes(entropy_model.enc, clustering)
+        assert is_k_anonymous(nodes, k)
+        entropy_model.enc.decode_table(nodes).check_generalizes(
+            entropy_model.enc.table
+        )
+
+    def test_splits_happen(self, entropy_model):
+        """With k far below n the table must be split at least once."""
+        clustering = mondrian_clustering(entropy_model, 2)
+        assert clustering.num_clusters > 1
+
+    def test_no_split_below_2k_minus_1(self, entropy_model):
+        """A cluster is only split if both halves keep k records, so no
+        finished cluster can exceed ~2k unless it was unsplittable."""
+        k = 3
+        clustering = mondrian_clustering(entropy_model, k)
+        for cluster in clustering.clusters:
+            if len(cluster) >= 2 * k:
+                # Unsplittable: all remaining records share every value.
+                codes = entropy_model.enc.codes[list(cluster)]
+                uniques = [
+                    len(np.unique(codes[:, j])) for j in range(codes.shape[1])
+                ]
+                # Either genuinely uniform or the median cut was
+                # infeasible for every attribute with spread.
+                assert max(uniques) >= 1
+
+    def test_k_one_identity(self, entropy_model):
+        clustering = mondrian_clustering(entropy_model, 1)
+        assert clustering.num_clusters == entropy_model.enc.num_records
+
+    def test_k_too_large(self, entropy_model):
+        with pytest.raises(AnonymityError, match="exceeds"):
+            mondrian_clustering(entropy_model, 10_000)
+
+    def test_deterministic(self):
+        table = make_random_table(40, seed=6, domain_sizes=(5, 4, 3))
+        m1 = CostModel(EncodedTable(table), EntropyMeasure())
+        c1 = mondrian_clustering(m1, 4)
+        c2 = mondrian_clustering(m1, 4)
+        assert c1.clusters == c2.clusters
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_on_random_tables(self, seed):
+        table = make_random_table(45, seed=seed, domain_sizes=(7, 5, 2))
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        for k in (2, 5):
+            clustering = mondrian_clustering(model, k)
+            assert clustering.min_cluster_size() >= k
+
+    def test_identical_rows_single_cluster(self):
+        from repro.tabular.table import Table
+
+        base = make_random_table(1, seed=0, domain_sizes=(4, 4))
+        table = Table(base.schema, [base.rows[0]] * 12)
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        clustering = mondrian_clustering(model, 3)
+        # No attribute has spread: the table is unsplittable.
+        assert clustering.num_clusters == 1

@@ -1,0 +1,138 @@
+"""Unit tests for brute-force optima and the Figure 1 relation census."""
+
+import numpy as np
+import pytest
+
+from repro.core.notions import is_k_anonymous
+from repro.core.optimal import optimal_k_anonymity
+from repro.core.relations import (
+    check_figure1,
+    classify,
+    enumerate_census,
+    kk_attack_example,
+    nodes_from_value_lists,
+    proposition_45_example,
+)
+from repro.core.clustering import clustering_to_nodes
+from repro.errors import AnonymityError, ExperimentError
+from repro.measures.base import CostModel
+from repro.measures.entropy import EntropyMeasure
+from repro.measures.lm import LMMeasure
+from repro.tabular.encoding import EncodedTable
+from tests.conftest import make_random_table
+
+
+class TestOptimalKAnonymity:
+    def test_duplicate_blocks_are_free(self):
+        from repro.tabular.table import Table
+
+        base = make_random_table(2, seed=0, domain_sizes=(4, 4))
+        table = Table(base.schema, [base.rows[0]] * 3 + [base.rows[1]] * 3)
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        cost, clustering = optimal_k_anonymity(model, 3)
+        assert cost == pytest.approx(0.0)
+        assert clustering.min_cluster_size() >= 3
+
+    def test_optimal_is_lower_bound(self):
+        table = make_random_table(7, seed=2, domain_sizes=(4, 3))
+        model = CostModel(EncodedTable(table), LMMeasure())
+        cost, clustering = optimal_k_anonymity(model, 2)
+        nodes = clustering_to_nodes(model.enc, clustering)
+        assert is_k_anonymous(nodes, 2)
+        assert model.table_cost(nodes) == pytest.approx(cost)
+        # Exhaustive double check on a few random clusterings.
+        rng = np.random.default_rng(0)
+        n = model.enc.num_records
+        for _ in range(30):
+            order = rng.permutation(n)
+            blocks = [sorted(order[: n // 2]), sorted(order[n // 2 :])]
+            if min(len(b) for b in blocks) < 2:
+                continue
+            assert model.clustering_cost(blocks) >= cost - 1e-9
+
+    def test_k_one_trivial(self, entropy_model):
+        table = make_random_table(5, seed=1)
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        cost, clustering = optimal_k_anonymity(model, 1)
+        assert cost == 0.0
+        assert clustering.num_clusters == 5
+
+    def test_refuses_large_tables(self, entropy_model):
+        with pytest.raises(AnonymityError, match="exponential"):
+            optimal_k_anonymity(entropy_model, 2)
+
+    def test_k_too_large(self):
+        table = make_random_table(4, seed=0)
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        with pytest.raises(AnonymityError, match="exceeds"):
+            optimal_k_anonymity(model, 9)
+
+
+class TestRelationCensus:
+    @pytest.fixture(scope="class")
+    def census(self):
+        table, _ = proposition_45_example()
+        return enumerate_census(EncodedTable(table), k=2)
+
+    def test_total_space(self, census):
+        # 3 records × 2 attributes, each cell: singleton or full = 2
+        # options → 4 per record → 64 generalizations.
+        assert census.total == 64
+        assert sum(census.counts.values()) == 64
+
+    def test_figure1_inclusions_hold(self, census):
+        assert check_figure1(census) == []
+
+    def test_strict_inclusion_witnesses(self, census):
+        # A^k ⊊ A^{(k,k)}: some (k,k) that is not k-anonymous.
+        assert census.exists({"kk"}, {"k"})
+        # (1,k) \ (k,1) and (k,1) \ (1,k) both non-empty (Prop 4.5 eq 6).
+        assert census.exists({"1k"}, {"k1"})
+        assert census.exists({"k1"}, {"1k"})
+
+    def test_k_anonymous_count(self, census):
+        # Exactly one 2-anonymization of this table exists among local
+        # recodings with suppression-only cells: all records fully
+        # suppressed... plus any pattern where ≥2 records coincide in
+        # both attributes.  Verify against the brute-force classifier.
+        assert census.count_in("k") >= 1
+
+    def test_classify_requires_consistency_graph(self):
+        table, gens = proposition_45_example()
+        enc = EncodedTable(table)
+        nodes = nodes_from_value_lists(enc, gens["(2,2)-anon"])
+        assert classify(enc, nodes, 2) == frozenset(
+            {"1k", "k1", "kk", "global-1k"}
+        )
+
+    def test_census_cap(self):
+        table = make_random_table(12, seed=0, domain_sizes=(4, 4))
+        with pytest.raises(ExperimentError, match="exceed"):
+            enumerate_census(EncodedTable(table), k=2, max_generalizations=10)
+
+    def test_kk_vs_global_incomparable(self):
+        """Figure 1's subtlest region: A^{(k,k)} ⊄ A^{G,(1,k)} — witnessed
+        by the attack example — and A^{G,(1,k)} ⊄ A^{(k,k)}, witnessed at
+        k = 3 (no k = 2 witness exists: global (1,2) implies (2,1), see
+        global_not_kk_example's docstring)."""
+        from repro.core.relations import global_not_kk_example
+
+        table, gen = kk_attack_example()
+        enc = EncodedTable(table)
+        nodes = nodes_from_value_lists(enc, gen)
+        classes = classify(enc, nodes, 2)
+        assert "kk" in classes and "global-1k" not in classes
+
+        table3, gen3, k3 = global_not_kk_example()
+        enc3 = EncodedTable(table3)
+        nodes3 = nodes_from_value_lists(enc3, gen3)
+        classes3 = classify(enc3, nodes3, k3)
+        assert "global-1k" in classes3 and "kk" not in classes3
+
+    def test_global_12_implies_21(self):
+        """The reproduction-found fact: at k = 2, every global
+        (1,2)-anonymization is also (2,1)-anonymous (exhaustively over
+        the Prop. 4.5 table's 64 generalizations)."""
+        table, _ = proposition_45_example()
+        census = enumerate_census(EncodedTable(table), k=2)
+        assert not census.exists({"global-1k"}, {"k1"})

@@ -1,0 +1,141 @@
+"""Unit tests for adversary models, attacks and the privacy audit."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import anonymize
+from repro.core.kk import kk_anonymize
+from repro.core.relations import kk_attack_example, nodes_from_value_lists
+from repro.errors import AnonymityError
+from repro.measures.base import CostModel
+from repro.measures.entropy import EntropyMeasure
+from repro.privacy.adversary import Adversary1, Adversary2
+from repro.privacy.attacks import (
+    matching_attack,
+    reverse_linkage_attack,
+    suppressed_tail_generalization,
+)
+from repro.privacy.audit import audit_nodes, audit_release
+from repro.tabular.encoding import EncodedTable
+
+
+class TestSuppressedTailAttack:
+    """The Section IV-A counterexample, end to end."""
+
+    def test_is_1k_but_leaks(self, small_encoded):
+        enc = small_encoded
+        k = 5
+        nodes = suppressed_tail_generalization(enc, k)
+        from repro.core.notions import is_one_k_anonymous
+
+        assert is_one_k_anonymous(enc, nodes, k)
+        findings = reverse_linkage_attack(enc, nodes)
+        # Unique untouched rows are fully re-identified.
+        assert findings, "the attack must re-identify someone"
+        for f in findings:
+            assert f.generalized_index == f.original_index
+            assert f.generalized_index < enc.num_records - k
+
+    def test_information_loss_tiny(self, entropy_model):
+        enc = entropy_model.enc
+        nodes = suppressed_tail_generalization(enc, 3)
+        # Only 3 of 30 records were touched: loss is a fraction of full
+        # suppression's.
+        full = np.array(
+            [[a.full_node for a in enc.attrs]] * enc.num_records,
+            dtype=np.int32,
+        )
+        assert entropy_model.table_cost(nodes) <= (
+            0.2 * entropy_model.table_cost(full) + 1e-9
+        )
+
+    def test_k_bounds(self, small_encoded):
+        with pytest.raises(AnonymityError):
+            suppressed_tail_generalization(small_encoded, 0)
+        with pytest.raises(AnonymityError):
+            suppressed_tail_generalization(
+                small_encoded, small_encoded.num_records + 1
+            )
+
+
+class TestAdversaries:
+    def test_adversary1_candidates_match_graph(self, small_encoded):
+        enc = small_encoded
+        nodes = enc.singleton_nodes
+        result = Adversary1().attack(enc, nodes)
+        from repro.matching.bipartite import ConsistencyGraph
+
+        graph = ConsistencyGraph(enc, nodes)
+        for i in range(enc.num_records):
+            assert result.candidates[i] == frozenset(
+                int(v) for v in graph.adjacency[i]
+            )
+
+    def test_adversary2_on_attack_example(self):
+        table, gen = kk_attack_example()
+        enc = EncodedTable(table)
+        nodes = nodes_from_value_lists(enc, gen)
+        adv1 = Adversary1().attack(enc, nodes)
+        adv2 = Adversary2().attack(enc, nodes)
+        assert adv1.min_links() == 2  # (k,k) holds against adversary 1
+        assert adv2.min_links() == 1  # ...but adversary 2 breaks it
+        assert adv2.breaches(2) == [2, 3]
+        assert adv2.reidentified() == [2, 3]
+
+    def test_matching_attack_report(self):
+        table, gen = kk_attack_example()
+        enc = EncodedTable(table)
+        nodes = nodes_from_value_lists(enc, gen)
+        report = matching_attack(enc, nodes, 2)
+        assert report.succeeded
+        assert set(report.victims) == {2, 3}
+        for i, count in report.neighbour_counts.items():
+            assert count >= 2  # neighbours were fine; matches were not
+
+    def test_matching_attack_fails_on_global(self, small_table):
+        result = anonymize(small_table, k=3, notion="global-1k")
+        report = matching_attack(result.encoded, result.node_matrix, 3)
+        assert not report.succeeded
+
+
+class TestAudit:
+    def test_audit_of_kk_release(self, small_table):
+        result = anonymize(small_table, k=4, notion="kk")
+        audit = audit_release(
+            small_table, result.generalized, k=4, encoded=result.encoded
+        )
+        assert audit.kk_level >= 4
+        assert audit.safe_against_adversary1()
+        report = audit.format_report()
+        assert "adversary 1" in report and "SAFE" in report
+
+    def test_audit_flags_weak_release(self, small_encoded):
+        nodes = suppressed_tail_generalization(small_encoded, 4)
+        audit = audit_nodes(small_encoded, nodes, k=4)
+        assert audit.one_k_level >= 4
+        assert audit.k_one_level == 1
+        assert not audit.safe_against_adversary1()
+        assert audit.reidentifications
+        assert "BREACHED" in audit.format_report()
+        assert "re-identification" in audit.format_report()
+
+    def test_audit_attack_example_levels(self):
+        table, gen = kk_attack_example()
+        enc = EncodedTable(table)
+        nodes = nodes_from_value_lists(enc, gen)
+        audit = audit_nodes(enc, nodes, k=2)
+        assert audit.kk_level == 2
+        assert audit.global_level == 1
+        assert audit.safe_against_adversary1()
+        assert not audit.safe_against_adversary2()
+
+    def test_audit_validates_generalization(self, small_table, tiny_table):
+        result = anonymize(small_table, k=3)
+        with pytest.raises(AnonymityError):
+            audit_release(tiny_table, result.generalized, k=3)
+
+    def test_global_release_safe_everywhere(self, small_table):
+        result = anonymize(small_table, k=3, notion="global-1k")
+        audit = audit_release(small_table, result.generalized, k=3)
+        assert audit.safe_against_adversary1()
+        assert audit.safe_against_adversary2()

@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on core structures and invariants.
+
+These pin down the algebraic facts everything else leans on: closures
+are extensive and idempotent, joins are least upper bounds on laminar
+hierarchies, measures are non-negative with free singletons, every
+anonymizer's output satisfies its notion, and the Proposition 4.5
+inclusion lattice holds for *arbitrary* valid generalizations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.agglomerative import agglomerative_clustering
+from repro.core.clustering import clustering_to_nodes
+from repro.core.distances import get_distance
+from repro.core.k1 import k1_expansion
+from repro.core.notions import (
+    is_global_one_k_anonymous,
+    is_k_anonymous,
+    is_k_one_anonymous,
+    is_kk_anonymous,
+    is_one_k_anonymous,
+)
+from repro.core.one_k import one_k_anonymize
+from repro.measures.base import CostModel
+from repro.measures.entropy import EntropyMeasure
+from repro.measures.lm import LMMeasure
+from repro.tabular.attribute import Attribute
+from repro.tabular.encoding import EncodedTable
+from repro.tabular.hierarchy import SubsetCollection
+from repro.tabular.table import Schema, Table
+
+_SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def collections(draw, laminar_only=False):
+    """A SubsetCollection over a 3..6-value domain with random groups."""
+    m = draw(st.integers(3, 6))
+    values = [f"v{i}" for i in range(m)]
+    att = Attribute("x", values)
+    subsets = []
+    if laminar_only:
+        # A random partition into contiguous groups is always laminar.
+        cut = draw(st.integers(1, m - 1))
+        subsets = [values[:cut], values[cut:]]
+    else:
+        for _ in range(draw(st.integers(0, 3))):
+            size = draw(st.integers(2, m - 1))
+            start = draw(st.integers(0, m - size))
+            subsets.append(values[start : start + size])
+    return SubsetCollection(att, subsets)
+
+
+@st.composite
+def tables(draw, min_rows=4, max_rows=14):
+    """A random 2-attribute table with random (laminar) hierarchies."""
+    coll_a = draw(collections(laminar_only=True))
+    coll_b = draw(collections(laminar_only=True))
+    # Distinct attribute names required by Schema.
+    coll_b = SubsetCollection(
+        Attribute("y", coll_b.attribute.values),
+        [
+            list(coll_b.node_values(n))
+            for n in range(coll_b.num_nodes)
+            if 1 < coll_b.node_size(n) < coll_b.attribute.size
+        ],
+    )
+    schema = Schema([coll_a, coll_b])
+    n = draw(st.integers(min_rows, max_rows))
+    rows = []
+    for _ in range(n):
+        a = draw(st.sampled_from(coll_a.attribute.values))
+        b = draw(st.sampled_from(coll_b.attribute.values))
+        rows.append((a, b))
+    return Table(schema, rows)
+
+
+class TestClosureAlgebra:
+    @given(collections())
+    @_SLOW
+    def test_closure_extensive_and_permissible(self, coll):
+        m = coll.attribute.size
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            size = int(rng.integers(1, m + 1))
+            members = sorted(rng.choice(m, size=size, replace=False).tolist())
+            node = coll.closure_of_value_indices(members)
+            assert set(members) <= set(coll.node_indices(node))
+
+    @given(collections())
+    @_SLOW
+    def test_closure_idempotent_on_nodes(self, coll):
+        for node in range(coll.num_nodes):
+            again = coll.closure_of_value_indices(coll.node_indices(node))
+            assert coll.node_indices(again) == coll.node_indices(node)
+
+    @given(collections())
+    @_SLOW
+    def test_join_is_upper_bound_and_commutative(self, coll):
+        for a in range(coll.num_nodes):
+            for b in range(coll.num_nodes):
+                j = coll.join(a, b)
+                assert coll.node_indices(a) <= coll.node_indices(j)
+                assert coll.node_indices(b) <= coll.node_indices(j)
+                assert coll.join(b, a) == j
+
+    @given(collections(laminar_only=True))
+    @_SLOW
+    def test_laminar_join_associative_and_minimal(self, coll):
+        assert coll.is_laminar
+        nodes = range(coll.num_nodes)
+        for a in nodes:
+            for b in nodes:
+                j = coll.join(a, b)
+                # Minimality: the LCA is contained in every common upper bound.
+                for c in nodes:
+                    if (
+                        coll.node_indices(a) <= coll.node_indices(c)
+                        and coll.node_indices(b) <= coll.node_indices(c)
+                    ):
+                        assert coll.node_indices(j) <= coll.node_indices(c)
+
+
+class TestMeasureProperties:
+    @given(tables())
+    @_SLOW
+    def test_costs_nonnegative_singletons_free(self, table):
+        enc = EncodedTable(table)
+        for measure in (EntropyMeasure(), LMMeasure()):
+            model = CostModel(enc, measure)
+            for j, att in enumerate(enc.attrs):
+                costs = model.node_costs[j]
+                assert (costs >= -1e-12).all()
+                for v in range(att.num_values):
+                    assert costs[att.singleton[v]] == 0.0
+
+    @given(tables())
+    @_SLOW
+    def test_lm_monotone_in_subset_size(self, table):
+        enc = EncodedTable(table)
+        model = CostModel(enc, LMMeasure())
+        for j, att in enumerate(enc.attrs):
+            sizes = att.sizes
+            costs = model.node_costs[j]
+            order = np.argsort(sizes)
+            assert (np.diff(costs[order]) >= -1e-12).all()
+
+
+class TestAnonymizerInvariants:
+    @given(tables(), st.integers(2, 4))
+    @_SLOW
+    def test_agglomerative_always_k_anonymous(self, table, k):
+        if k > table.num_records:
+            return
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        clustering = agglomerative_clustering(model, k, get_distance("d3"))
+        nodes = clustering_to_nodes(model.enc, clustering)
+        assert is_k_anonymous(nodes, k)
+        model.enc.decode_table(nodes).check_generalizes(table)
+
+    @given(tables(), st.integers(2, 4))
+    @_SLOW
+    def test_k1_expansion_always_k1(self, table, k):
+        if k > table.num_records:
+            return
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        nodes = k1_expansion(model, k)
+        assert is_k_one_anonymous(model.enc, nodes, k)
+
+    @given(tables(), st.integers(2, 4))
+    @_SLOW
+    def test_alg5_reaches_1k_and_preserves_k1(self, table, k):
+        if k > table.num_records:
+            return
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        base = k1_expansion(model, k)
+        out = one_k_anonymize(model, base, k)
+        assert is_one_k_anonymous(model.enc, out, k)
+        assert is_k_one_anonymous(model.enc, out, k)
+
+
+class TestBaselineInvariants:
+    @given(tables(), st.integers(2, 4))
+    @_SLOW
+    def test_forest_always_k_anonymous(self, table, k):
+        from repro.core.forest import forest_clustering
+
+        if k > table.num_records:
+            return
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        clustering = forest_clustering(model, k)
+        assert clustering.min_cluster_size() >= k
+        assert max(len(c) for c in clustering.clusters) <= 3 * k - 2
+
+    @given(tables(), st.integers(2, 4))
+    @_SLOW
+    def test_mondrian_always_k_anonymous(self, table, k):
+        from repro.core.mondrian import mondrian_clustering
+
+        if k > table.num_records:
+            return
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        clustering = mondrian_clustering(model, k)
+        assert clustering.min_cluster_size() >= k
+
+    @given(tables(), st.integers(2, 4))
+    @_SLOW
+    def test_datafly_always_k_anonymous(self, table, k):
+        from repro.core.datafly import datafly
+
+        if k > table.num_records:
+            return
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        result = datafly(model, k)
+        assert is_k_anonymous(result.node_matrix, k)
+
+    @given(tables(), st.integers(2, 3))
+    @_SLOW
+    def test_k1_nearest_always_k1(self, table, k):
+        from repro.core.k1 import k1_nearest_neighbors
+
+        if k > table.num_records:
+            return
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        nodes = k1_nearest_neighbors(model, k)
+        assert is_k_one_anonymous(model.enc, nodes, k)
+
+
+class TestNotionLattice:
+    """Proposition 4.5 for arbitrary random valid generalizations."""
+
+    @given(tables(), st.integers(2, 3), st.randoms(use_true_random=False))
+    @_SLOW
+    def test_inclusions(self, table, k, rnd):
+        enc = EncodedTable(table)
+        n = enc.num_records
+        # Random valid local recoding: each cell picks a random node
+        # containing its value.
+        nodes = np.empty((n, enc.num_attributes), dtype=np.int32)
+        for i in range(n):
+            for j, att in enumerate(enc.attrs):
+                options = np.flatnonzero(att.anc[enc.codes[i, j]])
+                nodes[i, j] = int(rnd.choice(options.tolist()))
+
+        k_anon = is_k_anonymous(nodes, k)
+        one_k = is_one_k_anonymous(enc, nodes, k)
+        k_one = is_k_one_anonymous(enc, nodes, k)
+        kk = is_kk_anonymous(enc, nodes, k)
+        global_1k = is_global_one_k_anonymous(enc, nodes, k)
+
+        assert kk == (one_k and k_one)
+        if k_anon:
+            assert kk and global_1k  # A^k ⊆ A^{(k,k)} ∩ A^{G,(1,k)}
+        if global_1k:
+            assert one_k  # A^{G,(1,k)} ⊆ A^{(1,k)}

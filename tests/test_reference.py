@@ -1,0 +1,86 @@
+"""Differential tests: optimized engine vs the literal transcription.
+
+The production agglomerative engine uses cached closures, a distance
+matrix and incremental row minima; :mod:`repro.core.reference` uses
+none of that.  On tie-free inputs the two must produce the *same
+clustering*; on inputs with exact distance ties they must still produce
+clusterings of (near-)equal quality.
+"""
+
+import pytest
+
+from repro.core.agglomerative import agglomerative_clustering
+from repro.core.clustering import clustering_to_nodes
+from repro.core.distances import get_distance
+from repro.core.reference import reference_agglomerative
+from repro.measures.base import CostModel
+from repro.measures.entropy import EntropyMeasure
+from repro.measures.lm import LMMeasure
+from repro.tabular.encoding import EncodedTable
+from tests.conftest import make_random_table
+
+
+def _canonical(clustering):
+    return sorted(tuple(sorted(c)) for c in clustering.clusters)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("distance", ["d1", "d2", "d3", "d4"])
+    def test_same_clustering_when_tie_free(self, seed, distance):
+        table = make_random_table(
+            14, seed=seed, domain_sizes=(5, 4, 3), with_groups=True
+        )
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        dist = get_distance(distance)
+        reference = reference_agglomerative(model, 3, dist)
+        production = agglomerative_clustering(model, 3, dist)
+        if reference.had_ties:
+            # Either tie choice is a correct Algorithm 1 execution; the
+            # results must still be equally good within float noise.
+            ref_cost = model.table_cost(
+                clustering_to_nodes(model.enc, reference.clustering)
+            )
+            prod_cost = model.table_cost(
+                clustering_to_nodes(model.enc, production)
+            )
+            assert prod_cost == pytest.approx(ref_cost, abs=0.25)
+        else:
+            assert _canonical(production) == _canonical(reference.clustering)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_clustering_modified(self, seed):
+        table = make_random_table(13, seed=100 + seed, domain_sizes=(6, 5))
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        dist = get_distance("d1")
+        reference = reference_agglomerative(model, 3, dist, modified=True)
+        production = agglomerative_clustering(model, 3, dist, modified=True)
+        if not reference.had_ties:
+            assert _canonical(production) == _canonical(reference.clustering)
+        else:
+            assert production.min_cluster_size() >= 3
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lm_measure_agreement(self, seed):
+        table = make_random_table(12, seed=200 + seed, domain_sizes=(4, 4))
+        model = CostModel(EncodedTable(table), LMMeasure())
+        dist = get_distance("d3")
+        reference = reference_agglomerative(model, 4, dist)
+        production = agglomerative_clustering(model, 4, dist)
+        if not reference.had_ties:
+            assert _canonical(production) == _canonical(reference.clustering)
+
+    def test_reference_k_one(self):
+        table = make_random_table(6, seed=0)
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        run = reference_agglomerative(model, 1, get_distance("d1"))
+        assert run.clustering.num_clusters == 6
+        assert not run.had_ties
+
+    def test_reference_rejects_large_k(self):
+        from repro.errors import AnonymityError
+
+        table = make_random_table(5, seed=0)
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        with pytest.raises(AnonymityError):
+            reference_agglomerative(model, 9, get_distance("d1"))

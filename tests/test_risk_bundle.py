@@ -1,0 +1,136 @@
+"""Unit tests for risk metrics and release bundles."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.api import anonymize
+from repro.datasets import load
+from repro.errors import AnonymityError, SchemaError
+from repro.privacy.adversary import Adversary1
+from repro.privacy.attacks import suppressed_tail_generalization
+from repro.privacy.bundle import load_release, save_release
+from repro.privacy.risk import release_risks, risk_from_linkage
+from repro.tabular.encoding import EncodedTable
+
+
+class TestRiskMetrics:
+    def test_identity_release_max_risk(self, small_encoded):
+        enc = small_encoded
+        adv1, adv2 = release_risks(enc, enc.singleton_nodes)
+        # Unique rows are fully identified: prosecutor risk 1.
+        assert adv1.prosecutor_max == pytest.approx(1.0)
+        assert adv1.journalist == adv1.prosecutor_max
+        assert adv2.prosecutor_max >= adv1.prosecutor_max - 1e-12
+
+    def test_full_suppression_min_risk(self, small_encoded):
+        enc = small_encoded
+        n = enc.num_records
+        full = np.array(
+            [[a.full_node for a in enc.attrs]] * n, dtype=np.int32
+        )
+        adv1, adv2 = release_risks(enc, full)
+        assert adv1.prosecutor_max == pytest.approx(1.0 / n)
+        assert adv2.prosecutor_max == pytest.approx(1.0 / n)
+        assert adv1.satisfies(n)
+
+    def test_k_guarantee_caps_risk(self, small_table):
+        k = 5
+        result = anonymize(small_table, k=k, notion="global-1k")
+        adv1, adv2 = release_risks(result.encoded, result.node_matrix)
+        assert adv1.satisfies(k)
+        assert adv2.satisfies(k)
+
+    def test_kk_caps_adv1_only(self, small_encoded):
+        # A (1,k) table caps adversary 1 but says nothing about adv 2's
+        # match pruning; the suppressed-tail construction makes adv2
+        # risk 1 while adv1 stays capped.
+        enc = small_encoded
+        nodes = suppressed_tail_generalization(enc, 5)
+        adv1, adv2 = release_risks(enc, nodes)
+        assert adv1.satisfies(5)
+        assert adv2.prosecutor_max == pytest.approx(1.0)
+
+    def test_adversary2_at_least_adversary1(self, small_table):
+        result = anonymize(small_table, k=3, notion="kk")
+        adv1, adv2 = release_risks(result.encoded, result.node_matrix)
+        assert adv2.prosecutor_max >= adv1.prosecutor_max - 1e-12
+        assert adv2.marketer >= adv1.marketer - 1e-12
+
+    def test_format_line(self, small_encoded):
+        profile = risk_from_linkage(
+            Adversary1().attack(small_encoded, small_encoded.singleton_nodes)
+        )
+        line = profile.format_line()
+        assert "prosecutor" in line and "marketer" in line
+
+
+class TestReleaseBundle:
+    @pytest.fixture
+    def table(self):
+        return load("art", n=80, seed=4, private=True)
+
+    def test_save_and_load(self, table, tmp_path):
+        result = anonymize(table, k=4, notion="kk")
+        directory = save_release(result, tmp_path / "bundle")
+        assert (directory / "release.csv").exists()
+        assert (directory / "schema.json").exists()
+        assert (directory / "manifest.json").exists()
+
+        bundle = load_release(directory)
+        assert bundle.notion == "kk"
+        assert bundle.k == 4
+        assert bundle.manifest["measure"] == "entropy"
+        assert bundle.manifest["cost"] == pytest.approx(result.cost)
+        assert bundle.generalized.num_records == table.num_records
+
+    def test_verify_against_original(self, table, tmp_path):
+        result = anonymize(table, k=4, notion="kk")
+        bundle = load_release(save_release(result, tmp_path / "b"))
+        assert bundle.verify_against(table)
+
+    def test_verify_fails_for_wrong_table(self, table, tmp_path):
+        result = anonymize(table, k=4, notion="kk")
+        bundle = load_release(save_release(result, tmp_path / "b"))
+        other = load("art", n=80, seed=99, private=True)
+        with pytest.raises(AnonymityError):
+            bundle.verify_against(other)
+
+    def test_risks_embedded(self, table, tmp_path):
+        result = anonymize(table, k=4, notion="kk")
+        directory = save_release(result, tmp_path / "b", with_risks=True)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["risks"]["adversary1"]["prosecutor_max"] <= 0.25 + 1e-9
+
+    def test_without_risks(self, table, tmp_path):
+        result = anonymize(table, k=4)
+        directory = save_release(result, tmp_path / "b", with_risks=False)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert "risks" not in manifest
+
+    def test_private_columns_included_and_excludable(self, table, tmp_path):
+        result = anonymize(table, k=4)
+        with_priv = save_release(result, tmp_path / "p", with_risks=False)
+        text = (with_priv / "release.csv").read_text()
+        assert "condition" in text.splitlines()[0]
+        without = save_release(
+            result, tmp_path / "np", include_private=False, with_risks=False
+        )
+        assert "condition" not in (without / "release.csv").read_text().splitlines()[0]
+
+    def test_missing_file_rejected(self, table, tmp_path):
+        result = anonymize(table, k=3)
+        directory = save_release(result, tmp_path / "b", with_risks=False)
+        (directory / "manifest.json").unlink()
+        with pytest.raises(SchemaError, match="missing manifest"):
+            load_release(directory)
+
+    def test_bad_version_rejected(self, table, tmp_path):
+        result = anonymize(table, k=3)
+        directory = save_release(result, tmp_path / "b", with_risks=False)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["manifest_version"] = 99
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(AnonymityError, match="version"):
+            load_release(directory)

@@ -1,0 +1,103 @@
+"""Unit tests for the blocked agglomerative variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.agglomerative import agglomerative_clustering
+from repro.core.clustering import clustering_to_nodes
+from repro.core.distances import get_distance
+from repro.core.notions import is_k_anonymous
+from repro.core.scalable import _partition_blocks, blocked_agglomerative
+from repro.errors import AnonymityError
+from repro.measures.base import CostModel
+from repro.measures.entropy import EntropyMeasure
+from repro.tabular.encoding import EncodedTable
+from tests.conftest import make_random_table
+
+
+@pytest.fixture(scope="module")
+def model():
+    table = make_random_table(180, seed=13, domain_sizes=(7, 5, 4))
+    return CostModel(EncodedTable(table), EntropyMeasure())
+
+
+class TestPartition:
+    def test_blocks_partition_records(self, model):
+        blocks = _partition_blocks(model.enc, block_size=40, k=4)
+        seen = sorted(int(i) for b in blocks for i in b)
+        assert seen == list(range(model.enc.num_records))
+
+    def test_block_floor_respected(self, model):
+        k = 5
+        blocks = _partition_blocks(model.enc, block_size=40, k=k)
+        for b in blocks:
+            assert len(b) >= k
+
+    def test_single_block_when_size_large(self, model):
+        blocks = _partition_blocks(model.enc, block_size=10_000, k=3)
+        assert len(blocks) == 1
+
+
+class TestBlockedAgglomerative:
+    @pytest.mark.parametrize("k", [3, 6])
+    def test_k_anonymous(self, model, k):
+        clustering = blocked_agglomerative(
+            model, k, get_distance("d3"), block_size=48
+        )
+        nodes = clustering_to_nodes(model.enc, clustering)
+        assert is_k_anonymous(nodes, k)
+        assert clustering.min_cluster_size() >= k
+
+    def test_quality_close_to_full(self, model):
+        k = 4
+        d = get_distance("d3")
+        full = clustering_to_nodes(
+            model.enc, agglomerative_clustering(model, k, d)
+        )
+        blocked = clustering_to_nodes(
+            model.enc, blocked_agglomerative(model, k, d, block_size=60)
+        )
+        full_cost = model.table_cost(full)
+        blocked_cost = model.table_cost(blocked)
+        assert blocked_cost >= full_cost - 1e-9  # blocking can't beat global
+        assert blocked_cost <= full_cost * 1.35  # ...and stays close
+
+    def test_equals_full_when_one_block(self, model):
+        k = 4
+        d = get_distance("d2")
+        full = agglomerative_clustering(model, k, d)
+        blocked = blocked_agglomerative(model, k, d, block_size=10_000)
+        canon = lambda c: sorted(tuple(sorted(x)) for x in c.clusters)
+        assert canon(full) == canon(blocked)
+
+    def test_block_size_floor(self, model):
+        with pytest.raises(AnonymityError, match="at least 2k"):
+            blocked_agglomerative(model, 10, get_distance("d3"), block_size=15)
+
+    def test_k_too_large(self, model):
+        with pytest.raises(AnonymityError, match="exceeds"):
+            blocked_agglomerative(
+                model, 10_000, get_distance("d3"), block_size=30_000
+            )
+
+    def test_k_one_identity(self, model):
+        clustering = blocked_agglomerative(
+            model, 1, get_distance("d3"), block_size=64
+        )
+        assert clustering.num_clusters == model.enc.num_records
+
+    def test_borrowed_costs_match_parent(self, model):
+        """The sub-models must score with the FULL table's distribution —
+        eq. (3) conditions on the whole database, not the block."""
+        from repro.core.scalable import _borrow_costs
+
+        sub_table = model.enc.table.subset(list(range(30)))
+        sub_model = _borrow_costs(model, EncodedTable(sub_table))
+        for a, b in zip(sub_model.node_costs, model.node_costs):
+            assert np.array_equal(a, b)
+
+    def test_modified_flag_forwarded(self, model):
+        clustering = blocked_agglomerative(
+            model, 4, get_distance("d1"), block_size=48, modified=True
+        )
+        assert clustering.min_cluster_size() >= 4

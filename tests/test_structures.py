@@ -1,0 +1,65 @@
+"""Unit tests for the union–find structure."""
+
+import pytest
+
+from repro.structures.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(5)
+        assert uf.num_sets == 5
+        assert len(uf) == 5
+        for i in range(5):
+            assert uf.find(i) == i
+            assert uf.size_of(i) == 1
+
+    def test_union_and_find(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.size_of(0) == 2
+        assert uf.num_sets == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.num_sets == 2
+
+    def test_transitive_union(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+        assert uf.size_of(2) == 3
+
+    def test_groups(self):
+        uf = UnionFind(4)
+        uf.union(0, 2)
+        groups = uf.groups()
+        assert sorted(sorted(g) for g in groups.values()) == [[0, 2], [1], [3]]
+
+    def test_groups_members_sorted(self):
+        uf = UnionFind(6)
+        uf.union(5, 0)
+        uf.union(3, 5)
+        groups = uf.groups()
+        merged = groups[uf.find(0)]
+        assert merged == sorted(merged) == [0, 3, 5]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_large_chain_path_compression(self):
+        n = 2000
+        uf = UnionFind(n)
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.num_sets == 1
+        assert uf.size_of(0) == n
+        assert uf.connected(0, n - 1)

@@ -1,0 +1,75 @@
+"""Unit tests for Tarjan SCC, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.matching.tarjan import strongly_connected_components
+
+
+def _group(comp):
+    groups = {}
+    for v, c in enumerate(comp):
+        groups.setdefault(c, set()).add(v)
+    return sorted(sorted(g) for g in groups.values())
+
+
+def _nx_sccs(adj):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(adj)))
+    for u, neigh in enumerate(adj):
+        graph.add_edges_from((u, v) for v in neigh)
+    return sorted(sorted(c) for c in nx.strongly_connected_components(graph))
+
+
+class TestTarjan:
+    def test_empty(self):
+        assert strongly_connected_components([]) == []
+
+    def test_isolated_vertices(self):
+        comp = strongly_connected_components([[], [], []])
+        assert len(set(comp)) == 3
+
+    def test_single_cycle(self):
+        comp = strongly_connected_components([[1], [2], [0]])
+        assert len(set(comp)) == 1
+
+    def test_two_components_dag_between(self):
+        # 0<->1 -> 2<->3
+        adj = [[1], [0, 2], [3], [2]]
+        comp = strongly_connected_components(adj)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+
+    def test_self_loop(self):
+        comp = strongly_connected_components([[0], []])
+        assert len(set(comp)) == 2
+
+    def test_chain_is_all_singletons(self):
+        adj = [[1], [2], [3], []]
+        comp = strongly_connected_components(adj)
+        assert len(set(comp)) == 4
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_graphs_match_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 25))
+        p = rng.uniform(0.02, 0.3)
+        adj = [
+            sorted(int(v) for v in np.flatnonzero(rng.random(n) < p))
+            for _ in range(n)
+        ]
+        assert _group(strongly_connected_components(adj)) == _nx_sccs(adj)
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        adj = [[i + 1] for i in range(n - 1)] + [[]]
+        comp = strongly_connected_components(adj)
+        assert len(set(comp)) == n
+
+    def test_deep_cycle_no_recursion_error(self):
+        n = 50_000
+        adj = [[(i + 1) % n] for i in range(n)]
+        comp = strongly_connected_components(adj)
+        assert len(set(comp)) == 1

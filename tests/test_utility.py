@@ -1,0 +1,136 @@
+"""Unit tests for the query-workload utility subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import anonymize
+from repro.errors import ExperimentError
+from repro.tabular.encoding import EncodedTable
+from repro.utility.estimator import evaluate_estimated, query_errors
+from repro.utility.evaluation import compare_releases
+from repro.utility.queries import CountQuery, evaluate_exact, random_workload
+
+
+class TestCountQuery:
+    def test_exact_evaluation(self, small_encoded):
+        enc = small_encoded
+        j = 1  # edu attribute
+        hs = enc.attrs[j].collection.attribute.index_of("hs")
+        query = CountQuery(((j, frozenset([hs])),))
+        expected = sum(1 for row in enc.table.rows if row[1] == "hs")
+        assert evaluate_exact(enc, query) == expected
+
+    def test_empty_predicates_counts_all(self, small_encoded):
+        query = CountQuery(())
+        assert evaluate_exact(small_encoded, query) == 30
+
+    def test_conjunction(self, small_encoded):
+        enc = small_encoded
+        ages = frozenset(range(10))  # age codes 20..29
+        hs = enc.attrs[1].collection.attribute.index_of("hs")
+        query = CountQuery(((0, ages), (1, frozenset([hs]))))
+        expected = sum(
+            1
+            for row in enc.table.rows
+            if int(row[0]) < 30 and row[1] == "hs"
+        )
+        assert evaluate_exact(enc, query) == expected
+
+    def test_describe(self, small_encoded):
+        query = CountQuery(((1, frozenset([0])),))
+        text = query.describe(small_encoded)
+        assert "edu" in text and "COUNT" in text
+
+
+class TestWorkloadGeneration:
+    def test_deterministic(self, small_encoded):
+        w1 = random_workload(small_encoded, num_queries=20, seed=5)
+        w2 = random_workload(small_encoded, num_queries=20, seed=5)
+        assert w1 == w2
+
+    def test_non_empty_answers(self, small_encoded):
+        for query in random_workload(small_encoded, num_queries=30, seed=1):
+            assert evaluate_exact(small_encoded, query) >= 1
+
+    def test_arity_respected(self, small_encoded):
+        for query in random_workload(
+            small_encoded, num_queries=10, arity=2, seed=2
+        ):
+            assert len(query.predicates) == 2
+
+    def test_arity_too_large(self, small_encoded):
+        with pytest.raises(ExperimentError, match="arity"):
+            random_workload(small_encoded, arity=99)
+
+
+class TestEstimator:
+    def test_exact_on_identity_release(self, small_encoded):
+        enc = small_encoded
+        workload = random_workload(enc, num_queries=25, seed=3)
+        for query in workload:
+            estimate = evaluate_estimated(enc, enc.singleton_nodes, query)
+            assert estimate == pytest.approx(evaluate_exact(enc, query))
+
+    def test_full_suppression_estimates_expectation(self, small_encoded):
+        enc = small_encoded
+        n = enc.num_records
+        full = np.array(
+            [[a.full_node for a in enc.attrs]] * n, dtype=np.int32
+        )
+        j = 1
+        m = enc.attrs[j].num_values
+        one_value = CountQuery(((j, frozenset([0])),))
+        estimate = evaluate_estimated(enc, full, one_value)
+        # Uniform spread over the full domain: n/m expected matches.
+        assert estimate == pytest.approx(n / m)
+
+    def test_total_mass_preserved(self, small_encoded):
+        """Summing estimates over a partition of one attribute's domain
+        recovers n exactly, for any release."""
+        enc = small_encoded
+        result = anonymize(enc.table, k=5, notion="kk", encoded=enc)
+        j = 1
+        m = enc.attrs[j].num_values
+        total = sum(
+            evaluate_estimated(
+                enc, result.node_matrix, CountQuery(((j, frozenset([v])),))
+            )
+            for v in range(m)
+        )
+        assert total == pytest.approx(enc.num_records)
+
+    def test_errors_zero_for_identity(self, small_encoded):
+        enc = small_encoded
+        workload = random_workload(enc, num_queries=15, seed=4)
+        errors = query_errors(enc, enc.singleton_nodes, workload)
+        assert np.allclose(errors, 0.0)
+
+
+class TestComparison:
+    def test_orderings(self, small_table):
+        enc = EncodedTable(small_table)
+        kk = anonymize(small_table, k=4, notion="kk", encoded=enc)
+        k = anonymize(small_table, k=4, notion="k", encoded=enc)
+        cmp = compare_releases(
+            enc,
+            {
+                "identity": enc.singleton_nodes,
+                "kk": kk.node_matrix,
+                "k-anon": k.node_matrix,
+            },
+            num_queries=60,
+            seed=1,
+        )
+        by = cmp.by_release()
+        assert by["identity"].mean_error == pytest.approx(0.0)
+        assert by["identity"].mean_error <= by["kk"].mean_error
+        assert cmp.ranking()[0] == "identity"
+        assert "mean" in cmp.format()
+
+    def test_shared_workload(self, small_encoded):
+        enc = small_encoded
+        workload = random_workload(enc, num_queries=10, seed=9)
+        cmp = compare_releases(
+            enc, {"identity": enc.singleton_nodes}, workload=workload
+        )
+        assert cmp.num_queries == 10

@@ -1,0 +1,42 @@
+"""Unit tests for the seed-stability study (tiny scale)."""
+
+import pytest
+
+from repro.experiments.variance import variance_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return variance_study("art", measure="lm", k=3, n=60, seeds=(0, 1, 2))
+
+
+class TestVarianceStudy:
+    def test_structure(self, study):
+        assert set(study.summaries) == {
+            "agglomerative[d3]", "forest", "kk[expansion]"
+        }
+        for summary in study.summaries.values():
+            assert len(summary.values) == 3
+            assert summary.mean == pytest.approx(
+                sum(summary.values) / 3
+            )
+            assert summary.std >= 0.0
+
+    def test_ordering_flags(self, study):
+        assert len(study.ordering_held) == 3
+        assert study.always_ordered() == all(study.ordering_held)
+
+    def test_relative_std(self, study):
+        for name in study.summaries:
+            cv = study.relative_std(name)
+            assert 0.0 <= cv < 1.0
+
+    def test_format(self, study):
+        text = study.format()
+        assert "art/lm" in text
+        assert "σ/mean" in text
+
+    def test_single_seed_zero_std(self):
+        study = variance_study("art", measure="lm", k=3, n=50, seeds=(5,))
+        for summary in study.summaries.values():
+            assert summary.std == 0.0

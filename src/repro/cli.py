@@ -12,6 +12,9 @@ Subcommands
   (``table1``, ``fig1``, ``fig2``, ``fig3``, ``ablations``,
   ``global1k``, ``scaling``, ``epsilon``, or ``all`` for the complete
   reproduction report) and print it.
+* ``fuzz`` — run the property-fuzzing and differential-verification
+  harness (:mod:`repro.verify`) on random seeded instances; on failure
+  prints a replay command that reproduces the case deterministically.
 
 Examples
 --------
@@ -22,6 +25,7 @@ Examples
     repro-anon audit --schema schema.json --table original.csv \
         --release release.csv --k 10
     repro-anon experiment table1
+    repro-anon fuzz --seed 42 --budget-seconds 30
 """
 
 from __future__ import annotations
@@ -42,6 +46,15 @@ from repro.tabular.io import (
     write_schema_json,
     write_table_csv,
 )
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}"
+        )
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -123,6 +136,35 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument(
         "--out", help="for 'all': also write the report to this file"
+    )
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="run the property-fuzzing / differential-verification harness",
+    )
+    fuzz_cmd.add_argument(
+        "--seed",
+        type=_nonnegative_int,
+        default=0,
+        help="master seed (default 0)",
+    )
+    fuzz_cmd.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget; defaults to 10s when --max-cases is absent",
+    )
+    fuzz_cmd.add_argument(
+        "--max-cases", type=int, default=None, help="hard cap on cases"
+    )
+    fuzz_cmd.add_argument(
+        "--max-failures",
+        type=int,
+        default=3,
+        help="stop after this many failing cases (default 3)",
+    )
+    fuzz_cmd.add_argument(
+        "--verbose", action="store_true", help="print a line per case"
     )
     return parser
 
@@ -222,6 +264,24 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     audit = audit_release(table, release, k=args.k)
     print(audit.format_report())
     return 0 if audit.safe_against_adversary1() else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.harness import fuzz
+
+    def progress(index: int, case_seed: int, violations) -> None:
+        status = "FAIL" if violations else "ok"
+        print(f"case {index} (seed {case_seed}): {status}")
+
+    report = fuzz(
+        seed=args.seed,
+        budget_seconds=args.budget_seconds,
+        max_cases=args.max_cases,
+        max_failures=args.max_failures,
+        on_case=progress if args.verbose else None,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -337,6 +397,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_utility(args)
         if args.command == "audit":
             return _cmd_audit(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         return _cmd_experiment(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

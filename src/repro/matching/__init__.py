@@ -10,6 +10,7 @@ from repro.matching.allowed import (
     match_counts,
 )
 from repro.matching.bipartite import ConsistencyGraph
+from repro.matching.bruteforce import kuhn_matching, max_matching_size
 from repro.matching.hopcroft_karp import (
     UNMATCHED,
     has_perfect_matching,
@@ -20,6 +21,8 @@ from repro.matching.tarjan import strongly_connected_components
 __all__ = [
     "ConsistencyGraph",
     "hopcroft_karp",
+    "kuhn_matching",
+    "max_matching_size",
     "has_perfect_matching",
     "UNMATCHED",
     "strongly_connected_components",

@@ -39,6 +39,18 @@ class LossMeasure(ABC):
     #: Short identifier used by the registry and in experiment reports.
     name: str = "abstract"
 
+    #: Whether node costs are monotone under subset containment
+    #: (B ⊆ B' implies cost(B) ≤ cost(B')).  True for the structural
+    #: measures (LM, tree, MW); false for the data-dependent entropy
+    #: measure, whose cost can *drop* when a dominant value joins a
+    #: subset.  The verification harness checks the claim when set.
+    monotone: bool = False
+
+    #: Whether node costs always lie in [0, 1].  True for the structural
+    #: measures; false for entropy, which is bounded by log2 of the
+    #: domain size instead.  Checked by the verification harness.
+    bounded_unit: bool = False
+
     @abstractmethod
     def node_costs(
         self, attribute: EncodedAttribute, value_counts: np.ndarray

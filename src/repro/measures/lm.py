@@ -19,6 +19,8 @@ class LMMeasure(LossMeasure):
     """Π_LM — the loss-metric measure (eq. 4)."""
 
     name = "lm"
+    monotone = True
+    bounded_unit = True
 
     def node_costs(
         self, attribute: EncodedAttribute, value_counts: np.ndarray

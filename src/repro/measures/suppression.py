@@ -28,6 +28,8 @@ class SuppressionMeasure(LossMeasure):
     """
 
     name = "mw"
+    monotone = True
+    bounded_unit = True
 
     def node_costs(
         self, attribute: EncodedAttribute, value_counts: np.ndarray

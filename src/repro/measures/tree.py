@@ -24,6 +24,8 @@ class TreeMeasure(LossMeasure):
     original analysis [2, 3]."""
 
     name = "tree"
+    monotone = True
+    bounded_unit = True
 
     def node_costs(
         self, attribute: EncodedAttribute, value_counts: np.ndarray

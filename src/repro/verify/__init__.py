@@ -1,0 +1,87 @@
+"""Verification subsystem: property fuzzing and differential testing.
+
+The paper's anonymity notions come with properties that must hold for
+*any* input — every Section V algorithm's output must pass its Def. 4.x
+verifier, the notions must respect the Prop. 4.5 containment lattice,
+the optimized engines must agree with the literal reference
+transcriptions, and the matching machinery must agree with brute force.
+This package turns those facts into an executable harness:
+
+* :mod:`repro.verify.generators` — seeded random instances (tables,
+  hierarchies, configurations) with shrinking to minimal counterexamples;
+* :mod:`repro.verify.invariants` — the invariant catalogue, each check
+  returning structured :class:`~repro.verify.invariants.Violation`\\ s;
+* :mod:`repro.verify.differential` — the registry of all shipped
+  algorithms and the runner that executes every one against every
+  applicable oracle on one instance;
+* :mod:`repro.verify.harness` — the budgeted fuzz loop with replayable
+  failure reports (``repro-anon fuzz --seed S --budget-seconds T``).
+
+Quick use::
+
+    from repro.verify import fuzz
+    report = fuzz(seed=42, budget_seconds=30)
+    assert report.ok, report.summary()
+"""
+
+from repro.verify.differential import (
+    REGISTRY,
+    AlgorithmOutput,
+    AlgorithmSpec,
+    algorithm_names,
+    check_api_end_to_end,
+    compare_with_reference,
+    differential_check,
+    get_algorithm,
+)
+from repro.verify.generators import (
+    Instance,
+    InstanceConfig,
+    random_collection,
+    random_instance,
+    random_schema,
+    random_table,
+    shrink_instance,
+)
+from repro.verify.harness import (
+    FuzzFailure,
+    FuzzReport,
+    check_case,
+    fuzz,
+)
+from repro.verify.invariants import (
+    Violation,
+    check_closure_algebra,
+    check_generalization,
+    check_lattice,
+    check_matching_oracles,
+    check_measure_soundness,
+)
+
+__all__ = [
+    "Instance",
+    "InstanceConfig",
+    "random_instance",
+    "random_schema",
+    "random_table",
+    "random_collection",
+    "shrink_instance",
+    "Violation",
+    "check_closure_algebra",
+    "check_measure_soundness",
+    "check_generalization",
+    "check_lattice",
+    "check_matching_oracles",
+    "AlgorithmSpec",
+    "AlgorithmOutput",
+    "REGISTRY",
+    "algorithm_names",
+    "get_algorithm",
+    "differential_check",
+    "compare_with_reference",
+    "check_api_end_to_end",
+    "fuzz",
+    "check_case",
+    "FuzzReport",
+    "FuzzFailure",
+]

@@ -146,6 +146,37 @@ class TestUtilityCommand:
         assert "(k,k)-anonymity" in out and "forest" in out
 
 
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["fuzz", "--seed", "1", "--max-cases", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "2 cases" in out
+
+    def test_verbose_prints_cases(self, capsys):
+        code = main(["fuzz", "--seed", "3", "--max-cases", "1", "--verbose"])
+        assert code == 0
+        assert "case 0" in capsys.readouterr().out
+
+    def test_injected_bug_exits_nonzero(self, capsys, monkeypatch):
+        import repro.core.notions as notions
+
+        real = notions.is_k_one_anonymous
+        monkeypatch.setattr(
+            notions,
+            "is_k_one_anonymous",
+            lambda enc, nm, k: real(enc, nm, k + 1),
+        )
+        code = main(
+            ["fuzz", "--seed", "42", "--max-cases", "30",
+             "--max-failures", "1"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "replay: repro-anon fuzz --seed" in out
+
+
 class TestExperimentCommand:
     def test_fig1(self, capsys):
         assert main(["experiment", "fig1"]) == 0

@@ -16,13 +16,16 @@ from repro.core.distances import get_distance
 from repro.core.forest import forest_clustering
 from repro.core.kk import kk_anonymize
 from repro.core.mondrian import mondrian_clustering
-from repro.core.notions import anonymity_profile, is_k_anonymous
+from repro.core.notions import anonymity_profile, is_k_anonymous, satisfies
+from repro.errors import AnonymityError, ReproError, SchemaError
 from repro.measures.base import CostModel
 from repro.measures.entropy import EntropyMeasure
 from repro.tabular.attribute import Attribute, integer_attribute
 from repro.tabular.encoding import EncodedTable
 from repro.tabular.hierarchy import SubsetCollection, interval_hierarchy
 from repro.tabular.table import Schema, Table
+from repro.verify.differential import REGISTRY
+from repro.verify.generators import InstanceConfig
 
 
 def _model(table):
@@ -166,6 +169,91 @@ class TestDeepHierarchy:
             coll.closure_of_values(["v0", "v3"])
         ) == frozenset(values[0:4])
         assert coll.closure_of_values(["v0", "v5"]) == coll.full_node
+
+
+def _config(k, measure="entropy"):
+    return InstanceConfig(
+        seed=0,
+        k=k,
+        notion="k",
+        measure=measure,
+        distance="d2",
+        expander="nearest",
+        modified=False,
+    )
+
+
+def _spec_params():
+    return pytest.mark.parametrize(
+        "spec", REGISTRY, ids=[s.name for s in REGISTRY]
+    )
+
+
+class TestDegenerateAcrossRegistry:
+    """Every registered algorithm through the degenerate-shape matrix.
+
+    The contract: a valid instance always yields a generalization that
+    satisfies the algorithm's notion; an unsatisfiable instance raises
+    :class:`AnonymityError` — never an arbitrary crash.
+    """
+
+    @pytest.fixture
+    def small_table(self):
+        att = Attribute("a", ["x", "y", "z"])
+        b = Attribute("b", ["0", "1"])
+        schema = Schema([SubsetCollection(att), SubsetCollection(b)])
+        rows = [
+            ("x", "0"), ("y", "1"), ("z", "0"), ("x", "1"),
+            ("y", "0"), ("z", "1"), ("x", "0"),
+        ]
+        return Table(schema, rows)
+
+    def _run(self, spec, table, k, measure="entropy"):
+        model = CostModel(EncodedTable(table), EntropyMeasure())
+        return model, spec.run(model, _config(k, measure))
+
+    @_spec_params()
+    def test_k_equals_one(self, spec, small_table):
+        model, out = self._run(spec, small_table, k=1)
+        assert satisfies(model.enc, out.nodes, spec.notion, 1)
+
+    @_spec_params()
+    def test_k_equals_n(self, spec, small_table):
+        n = small_table.num_records
+        model, out = self._run(spec, small_table, k=n)
+        assert satisfies(model.enc, out.nodes, spec.notion, n)
+
+    @_spec_params()
+    def test_k_above_n_raises_anonymity_error(self, spec, small_table):
+        with pytest.raises(AnonymityError):
+            self._run(spec, small_table, k=small_table.num_records + 1)
+
+    @_spec_params()
+    def test_empty_table_raises_repro_error(self, spec, small_table):
+        empty = Table(small_table.schema, [])
+        with pytest.raises(ReproError):
+            self._run(spec, empty, k=1)
+
+    @_spec_params()
+    def test_single_attribute_table(self, spec):
+        att = Attribute("a", ["x", "y", "z"])
+        table = Table(
+            Schema([SubsetCollection(att)]),
+            [("x",), ("y",), ("z",), ("x",), ("y",), ("x",)],
+        )
+        model, out = self._run(spec, table, k=2)
+        assert satisfies(model.enc, out.nodes, spec.notion, 2)
+
+    @_spec_params()
+    def test_all_duplicate_rows_cost_zero(self, spec, identical_rows_table):
+        n = identical_rows_table.num_records
+        model, out = self._run(spec, identical_rows_table, k=n)
+        assert satisfies(model.enc, out.nodes, spec.notion, n)
+        assert model.table_cost(out.nodes) == pytest.approx(0.0)
+
+    def test_empty_domain_raises_schema_error(self):
+        with pytest.raises(SchemaError):
+            Attribute("empty", [])
 
 
 class TestTwoRecords:

@@ -1,0 +1,185 @@
+"""Hypothesis property tests driving the repro.verify generators.
+
+Hypothesis draws *seeds*; the seeded generators turn them into full
+instances (random tables, hierarchies, configurations).  The properties
+are the paper's: every registered algorithm's output satisfies its
+target notion on arbitrary instances, the notions respect the
+Prop. 4.5 containment lattice, and the Hopcroft–Karp matcher agrees
+with a brute-force augmenting-path matcher on arbitrary small bipartite
+graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.notions import satisfies
+from repro.matching.bruteforce import kuhn_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.verify.differential import REGISTRY
+from repro.verify.generators import random_instance, shrink_instance
+from repro.verify.invariants import (
+    check_closure_algebra,
+    check_lattice,
+    check_measure_soundness,
+)
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(0, 2**32 - 1)
+
+
+@st.composite
+def bipartite_graphs(draw):
+    """A random bipartite graph with at most 12 vertices total."""
+    num_left = draw(st.integers(0, 6))
+    num_right = draw(st.integers(0, 6))
+    adj = []
+    for _ in range(num_left):
+        if num_right == 0:
+            adj.append([])
+        else:
+            neighbours = draw(
+                st.sets(st.integers(0, num_right - 1), max_size=num_right)
+            )
+            adj.append(sorted(neighbours))
+    return adj, num_right
+
+
+class TestGenerators:
+    @given(seeds)
+    @_SETTINGS
+    def test_instances_deterministic(self, seed):
+        a = random_instance(seed)
+        b = random_instance(seed)
+        assert a.config == b.config
+        assert a.table.rows == b.table.rows
+        assert (
+            a.table.schema.attribute_names == b.table.schema.attribute_names
+        )
+
+    @given(seeds)
+    @_SETTINGS
+    def test_instances_well_formed(self, seed):
+        instance = random_instance(seed)
+        assert 1 <= instance.config.k <= instance.num_records
+        enc = instance.encoded()  # encoding validates domains
+        assert enc.num_records == instance.num_records
+        # Structural invariants hold on every generated instance.
+        rng = np.random.default_rng(seed)
+        assert check_closure_algebra(enc, rng) == []
+        assert check_measure_soundness(instance.model(enc)) == []
+
+
+class TestAlgorithmNotions:
+    @given(seeds)
+    @_SETTINGS
+    def test_every_algorithm_satisfies_its_notion(self, seed):
+        instance = random_instance(seed, max_records=12)
+        enc = instance.encoded()
+        model = instance.model(enc)
+        laminar = instance.is_laminar()
+        for spec in REGISTRY:
+            if spec.requires_laminar and not laminar:
+                continue
+            produced = spec.run(model, instance.config)
+            assert satisfies(
+                enc, produced.nodes, spec.notion, instance.config.k
+            ), f"{spec.name} violates {spec.notion} on seed {seed}"
+            enc.decode_table(produced.nodes).check_generalizes(
+                instance.table
+            )
+
+
+class TestContainmentLattice:
+    @given(seeds)
+    @_SETTINGS
+    def test_lattice_on_random_generalizations(self, seed):
+        """Prop. 4.5 on arbitrary valid local recodings, not just
+        algorithm outputs."""
+        instance = random_instance(seed, max_records=10)
+        enc = instance.encoded()
+        rng = np.random.default_rng(seed + 1)
+        nodes = np.empty(
+            (enc.num_records, enc.num_attributes), dtype=np.int32
+        )
+        for i in range(enc.num_records):
+            for j, att in enumerate(enc.attrs):
+                options = np.flatnonzero(att.anc[enc.codes[i, j]])
+                nodes[i, j] = int(rng.choice(options))
+        assert check_lattice(enc, nodes, instance.config.k) == []
+
+
+class TestMatchingDifferential:
+    @given(bipartite_graphs())
+    @_SETTINGS
+    def test_hopcroft_karp_vs_bruteforce(self, graph):
+        adj, num_right = graph
+        *_, hk = hopcroft_karp(adj, num_right)
+        *_, bf = kuhn_matching(adj, num_right)
+        assert hk == bf
+
+    @given(bipartite_graphs())
+    @_SETTINGS
+    def test_matching_size_bounds(self, graph):
+        adj, num_right = graph
+        *_, size = kuhn_matching(adj, num_right)
+        assert 0 <= size <= min(len(adj), num_right)
+        non_isolated = sum(1 for a in adj if a)
+        assert size <= non_isolated
+
+
+class TestShrinking:
+    def test_shrinker_finds_minimal_instance(self):
+        instance = random_instance(11)
+        assert instance.num_records > 3
+
+        def fails(candidate):
+            return candidate.num_records >= 3
+
+        shrunk = shrink_instance(instance, fails)
+        assert shrunk.num_records == 3
+        assert shrunk.table.schema.num_attributes == 1
+        assert shrunk.config.k == 1
+
+    def test_shrinker_keeps_failing_instance(self):
+        instance = random_instance(5)
+        shrunk = shrink_instance(instance, lambda c: True)
+        assert shrunk.num_records == 1
+
+    def test_shrinker_never_fails_means_no_change(self):
+        instance = random_instance(5)
+        shrunk = shrink_instance(instance, lambda c: False)
+        assert shrunk.table.rows == instance.table.rows
+        assert shrunk.config == instance.config
+
+
+@pytest.mark.slow
+class TestAlgorithmNotionsExtended:
+    """The same property over many more and larger instances."""
+
+    @given(seeds)
+    @settings(
+        max_examples=100,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_every_algorithm_satisfies_its_notion(self, seed):
+        instance = random_instance(seed)
+        enc = instance.encoded()
+        model = instance.model(enc)
+        laminar = instance.is_laminar()
+        for spec in REGISTRY:
+            if spec.requires_laminar and not laminar:
+                continue
+            produced = spec.run(model, instance.config)
+            assert satisfies(
+                enc, produced.nodes, spec.notion, instance.config.k
+            ), f"{spec.name} violates {spec.notion} on seed {seed}"

@@ -1,0 +1,50 @@
+"""Domain-aware static analysis for the reproduction codebase.
+
+The dynamic net (:mod:`repro.verify`) replays thousands of random
+instances through every algorithm; this package catches the bug classes
+that never make it to runtime — nondeterminism sources, input mutation,
+layering violations — by inspecting the *code* with the stdlib ``ast``
+module.  No third-party dependency is required.
+
+* :mod:`repro.analysis.rules` — the project-specific rule catalogue
+  (REP001–REP006), each one an AST visitor or a whole-tree check;
+* :mod:`repro.analysis.layers` — the import-layering checker enforcing
+  the architecture DAG (LAY001/LAY002);
+* :mod:`repro.analysis.engine` — file discovery, inline suppressions
+  (``# repro: allow[REP00N] reason``), the committed-baseline ratchet,
+  and the text/JSON reporters behind ``repro-anon lint``.
+
+Quick use::
+
+    from repro.analysis import run_lint
+    report = run_lint(["src/repro"])
+    assert report.ok, report.format_text()
+"""
+
+from repro.analysis.engine import (
+    Baseline,
+    Finding,
+    LintReport,
+    run_lint,
+)
+from repro.analysis.layers import (
+    DEFAULT_LAYERS,
+    LayerChecker,
+)
+from repro.analysis.rules import (
+    ALL_RULES,
+    RULE_DOCS,
+    rule_ids,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Baseline",
+    "run_lint",
+    "ALL_RULES",
+    "RULE_DOCS",
+    "rule_ids",
+    "DEFAULT_LAYERS",
+    "LayerChecker",
+]

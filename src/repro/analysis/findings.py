@@ -1,0 +1,52 @@
+"""The :class:`Finding` record shared by every rule and the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-analysis diagnostic.
+
+    Attributes
+    ----------
+    path:
+        POSIX path of the offending file, relative to the scan root —
+        stable across machines, which is what lets the committed
+        baseline match findings without absolute paths.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule identifier (``REP001`` … ``REP006``, ``LAY001``,
+        ``LAY002``, or ``PARSE`` for unparseable files).
+    message:
+        Human-readable description.  Together with ``rule`` and
+        ``path`` it forms the baseline fingerprint, so messages must
+        not embed line numbers or other churn-prone detail.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-insensitive identity used by the baseline."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """One-line ``path:line:col: RULE message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serializable dict (the ``findings`` array element)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -1,0 +1,183 @@
+"""Import-layering checker: the architecture DAG, machine-enforced.
+
+The codebase layers strictly::
+
+    errors                                           (0)
+    report · structures · tabular · analysis         (1)
+    matching · measures                              (2)
+    core                                             (3)
+    datasets · extensions · privacy · utility · verify   (4)
+    experiments                                      (5)
+    cli                                              (6)
+    __main__                                         (7)
+
+A module may import only from *strictly lower* layers (or from its own
+subpackage).  Same-layer cross-package imports are back-edges too:
+allowing ``matching -> measures`` today is how the
+``matching <-> measures`` cycle appears tomorrow, and cycles are
+exactly what blocks the ROADMAP's sharding/multi-backend refactors
+(a backend must be able to depend on ``core`` without dragging the CLI
+along).  The package facade (``__init__`` at the scan root) is exempt:
+re-exporting from every layer is its job.
+
+Violations surface as ``LAY001`` (back-edge) and ``LAY002`` (module or
+import target missing from the layer map — the map must be extended
+deliberately when a subpackage is added).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext
+
+#: Subpackage/top-level-module name -> layer index.  Lower imports into
+#: higher only.
+DEFAULT_LAYERS: Mapping[str, int] = {
+    "errors": 0,
+    "report": 1,
+    "structures": 1,
+    "tabular": 1,
+    "analysis": 1,
+    "matching": 2,
+    "measures": 2,
+    "core": 3,
+    "datasets": 4,
+    "extensions": 4,
+    "privacy": 4,
+    "utility": 4,
+    "verify": 4,
+    "experiments": 5,
+    "cli": 6,
+    "__main__": 7,  # the entry shim sits above the CLI it wraps
+}
+
+#: Scan-root modules outside the layer discipline.
+_EXEMPT_SEGMENTS = frozenset({"__init__"})
+
+#: Pseudo-segment for imports of the package facade itself
+#: (``from repro import x``): it re-exports the highest layers, so it
+#: sits above everything and importing it internally is a back-edge.
+_FACADE = "__init__"
+
+
+class LayerChecker:
+    """Check every intra-package import in a parsed tree against the DAG.
+
+    Parameters
+    ----------
+    package:
+        The importable package name the scan root corresponds to
+        (``repro`` when scanning ``src/repro``).  Needed to recognize
+        absolute intra-package imports.
+    layers:
+        Segment -> layer mapping; defaults to :data:`DEFAULT_LAYERS`.
+    """
+
+    def __init__(
+        self, package: str, layers: Mapping[str, int] = DEFAULT_LAYERS
+    ) -> None:
+        self.package = package
+        self.layers = dict(layers)
+        self._facade_layer = max(self.layers.values(), default=0) + 1
+
+    def check(self, modules: Sequence[ModuleContext]) -> Iterator[Finding]:
+        """Yield LAY001/LAY002 findings over all modules."""
+        for ctx in modules:
+            segment = ctx.segment
+            if segment in _EXEMPT_SEGMENTS:
+                continue
+            if segment not in self.layers:
+                yield Finding(
+                    ctx.rel, 1, 0, "LAY002",
+                    f"module segment '{segment}' is not in the layer map; "
+                    "assign it a layer in repro.analysis.layers",
+                )
+                continue
+            yield from self._check_module(ctx, segment)
+
+    # ----------------------------------------------------------------- #
+
+    def _check_module(
+        self, ctx: ModuleContext, segment: str
+    ) -> Iterator[Finding]:
+        source_layer = self.layers[segment]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._absolute_target(alias.name)
+                    yield from self._judge(
+                        ctx, node.lineno, segment, source_layer, target
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    target = self._absolute_target(node.module or "")
+                else:
+                    target = self._relative_target(ctx, node)
+                yield from self._judge(
+                    ctx, node.lineno, segment, source_layer, target
+                )
+
+    def _absolute_target(self, module: str) -> str | None:
+        """Segment of an absolute import, or None for external imports."""
+        if module == self.package:
+            return _FACADE
+        prefix = self.package + "."
+        if module.startswith(prefix):
+            return module[len(prefix):].split(".")[0]
+        return None
+
+    def _relative_target(
+        self, ctx: ModuleContext, node: ast.ImportFrom
+    ) -> str | None:
+        """Segment a relative import resolves to, or None if unknown."""
+        mod_parts = ctx.rel[: -len(".py")].split("/")
+        if mod_parts[-1] == "__init__":
+            mod_parts = mod_parts[:-1]
+        package_parts = mod_parts[:-1] if mod_parts else []
+        anchor = package_parts[: len(package_parts) - (node.level - 1)]
+        target_parts = anchor + (node.module.split(".") if node.module else [])
+        if target_parts:
+            return target_parts[0]
+        # `from . import x` inside a subpackage: same segment.
+        return ctx.segment if package_parts else None
+
+    def _judge(
+        self,
+        ctx: ModuleContext,
+        line: int,
+        segment: str,
+        source_layer: int,
+        target: str | None,
+    ) -> Iterator[Finding]:
+        if target is None or target == segment:
+            return
+        if target == _FACADE:
+            target_layer = self._facade_layer
+            target_label = f"the {self.package} package facade"
+        elif target in self.layers:
+            target_layer = self.layers[target]
+            target_label = f"'{target}' (layer {target_layer})"
+        else:
+            yield Finding(
+                ctx.rel, line, 0, "LAY002",
+                f"import of '{target}', which is not in the layer map; "
+                "assign it a layer in repro.analysis.layers",
+            )
+            return
+        if target_layer >= source_layer:
+            yield Finding(
+                ctx.rel, line, 0, "LAY001",
+                f"layer back-edge: '{segment}' (layer {source_layer}) "
+                f"imports {target_label}; modules may import strictly "
+                "lower layers only",
+            )
+
+
+#: Documentation strings for the layering diagnostics.
+LAYER_RULE_DOCS: Mapping[str, str] = {
+    "LAY001": "import-layering back-edge",
+    "LAY002": "module missing from the layer map",
+}

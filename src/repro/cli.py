@@ -15,6 +15,10 @@ Subcommands
 * ``fuzz`` — run the property-fuzzing and differential-verification
   harness (:mod:`repro.verify`) on random seeded instances; on failure
   prints a replay command that reproduces the case deterministically.
+* ``lint`` — run the domain-aware static analysis
+  (:mod:`repro.analysis`): the REP001–REP006 rule catalogue plus the
+  import-layering DAG check, with inline suppressions and a committed
+  baseline ratchet.
 
 Examples
 --------
@@ -26,6 +30,8 @@ Examples
         --release release.csv --k 10
     repro-anon experiment table1
     repro-anon fuzz --seed 42 --budget-seconds 30
+    repro-anon lint --baseline lint-baseline.json
+    repro-anon lint src/repro --select REP002,LAY001 --format json
 """
 
 from __future__ import annotations
@@ -166,6 +172,38 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument(
         "--verbose", action="store_true", help="print a line per case"
     )
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="run the domain-aware static analysis (repro.analysis)",
+    )
+    lint_cmd.add_argument(
+        "paths",
+        nargs="*",
+        help="package directories or files to scan "
+        "(default: the installed repro package)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default text)",
+    )
+    lint_cmd.add_argument(
+        "--baseline",
+        help="baseline JSON of reviewed findings "
+        "(default: ./lint-baseline.json when it exists)",
+    )
+    lint_cmd.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    lint_cmd.add_argument(
+        "--no-layers",
+        action="store_true",
+        help="skip the import-layering DAG check",
+    )
     return parser
 
 
@@ -284,6 +322,44 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        # This module lives inside the package being linted.
+        paths = [Path(__file__).resolve().parent]
+    baseline = args.baseline
+    if baseline is None and Path("lint-baseline.json").is_file():
+        baseline = "lint-baseline.json"
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    reports = run_lint(
+        paths,
+        select=select,
+        baseline_path=baseline,
+        check_layers=not args.no_layers,
+    )
+    if args.output_format == "json":
+        payload: object = (
+            reports[0].to_json()
+            if len(reports) == 1
+            else [r.to_json() for r in reports]
+        )
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.format_text())
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.configs import ExperimentConfig
     from repro.experiments.runner import ExperimentRunner
@@ -399,6 +475,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_audit(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _cmd_experiment(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.datasets.registry import default_size, load, schema_of
-from repro.experiments.report import format_table
+from repro.report import format_table
 
 
 def describe_dataset(name: str, sample_n: int = 400, seed: int = 0) -> str:

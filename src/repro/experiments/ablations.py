@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.configs import variant_name
-from repro.experiments.report import format_table
+from repro.report import format_table
 from repro.experiments.runner import ExperimentRunner
 
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.experiments.asciiplot import line_chart
 from repro.experiments.paper_values import PAPER_TABLE1
-from repro.experiments.report import format_table
+from repro.report import format_table
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.table1 import Table1Block, compute_block
 

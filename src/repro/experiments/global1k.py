@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.global_1k import global_one_k_anonymize
 from repro.core.kk import kk_anonymize
-from repro.experiments.report import format_table
+from repro.report import format_table
 from repro.experiments.runner import ExperimentRunner
 from repro.matching.bipartite import ConsistencyGraph
 

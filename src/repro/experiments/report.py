@@ -1,57 +1,14 @@
-"""Plain-text table formatting for experiment reports.
+"""Backward-compatible re-export of :mod:`repro.report`.
 
-Everything the harness prints goes through :func:`format_table`, so the
-benchmark output lines up whether it lands in a terminal, a log file or
-EXPERIMENTS.md.
+The table/block formatters started life here; they moved to
+:mod:`repro.report` (layer 1 of the import DAG) so that lower layers —
+dataset descriptions, utility summaries — can format tables without a
+back-edge into the experiment layer.  Importing from this module keeps
+working; new code should import :mod:`repro.report` directly.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from repro.report import format_kv_block, format_table, format_value
 
-
-def format_value(value: object, precision: int = 2) -> str:
-    """Render one cell: floats rounded, everything else str()'d."""
-    if isinstance(value, float):
-        return f"{value:.{precision}f}"
-    return str(value)
-
-
-def format_table(
-    headers: Sequence[str],
-    rows: Sequence[Sequence[object]],
-    precision: int = 2,
-    indent: str = "",
-) -> str:
-    """Render an aligned text table with a header rule.
-
-    The first column is left-aligned (labels), the rest right-aligned
-    (numbers) — the layout of the paper's Table I.
-    """
-    cells = [[format_value(v, precision) for v in row] for row in rows]
-    all_rows = [list(headers)] + cells
-    widths = [
-        max(len(row[c]) for row in all_rows) for c in range(len(headers))
-    ]
-
-    def render(row: Sequence[str]) -> str:
-        parts = []
-        for c, cell in enumerate(row):
-            if c == 0:
-                parts.append(cell.ljust(widths[c]))
-            else:
-                parts.append(cell.rjust(widths[c]))
-        return indent + "  ".join(parts).rstrip()
-
-    out = [render(list(headers))]
-    out.append(indent + "-" * (sum(widths) + 2 * (len(widths) - 1)))
-    out.extend(render(row) for row in cells)
-    return "\n".join(out)
-
-
-def format_kv_block(title: str, pairs: Sequence[tuple[str, object]]) -> str:
-    """A titled key/value block for run metadata."""
-    width = max((len(k) for k, _ in pairs), default=0)
-    lines = [title, "-" * len(title)]
-    lines.extend(f"{k.ljust(width)} : {format_value(v, 4)}" for k, v in pairs)
-    return "\n".join(lines)
+__all__ = ["format_table", "format_value", "format_kv_block"]

@@ -29,7 +29,7 @@ from repro.experiments.paper_values import (
     KK_IMPROVEMENT,
     PAPER_TABLE1,
 )
-from repro.experiments.report import format_table
+from repro.report import format_table
 from repro.experiments.runner import ExperimentRunner
 
 

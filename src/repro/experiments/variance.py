@@ -20,7 +20,7 @@ from repro.core.distances import get_distance
 from repro.core.forest import forest_clustering
 from repro.core.kk import kk_anonymize
 from repro.datasets.registry import load
-from repro.experiments.report import format_table
+from repro.report import format_table
 from repro.measures.base import CostModel
 from repro.measures.registry import get_measure
 from repro.tabular.encoding import EncodedTable

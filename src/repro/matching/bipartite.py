@@ -18,6 +18,7 @@ all generalized records via the precomputed ancestor tables.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.tabular.encoding import EncodedTable
 
@@ -34,7 +35,7 @@ class ConsistencyGraph:
 
     __slots__ = ("enc", "node_matrix", "adjacency", "_reverse_degrees")
 
-    def __init__(self, enc: EncodedTable, node_matrix: np.ndarray) -> None:
+    def __init__(self, enc: EncodedTable, node_matrix: NDArray[np.int64]) -> None:
         node_matrix = np.asarray(node_matrix)
         n = enc.num_records
         if node_matrix.shape != (n, enc.num_attributes):
@@ -46,11 +47,11 @@ class ConsistencyGraph:
         self.node_matrix = node_matrix
 
         # One consistency sweep per unique original row.
-        unique_neighbours: list[np.ndarray] = []
+        unique_neighbours: list[NDArray[np.intp]] = []
         for row in enc.unique_codes:
             mask = enc.consistency_mask_for_codes(row, node_matrix)
             unique_neighbours.append(np.flatnonzero(mask))
-        self.adjacency: list[np.ndarray] = [
+        self.adjacency: list[NDArray[np.intp]] = [
             unique_neighbours[enc.unique_inverse[i]] for i in range(n)
         ]
 
@@ -65,11 +66,11 @@ class ConsistencyGraph:
         """Number of records on each side."""
         return self.enc.num_records
 
-    def left_degrees(self) -> np.ndarray:
+    def left_degrees(self) -> NDArray[np.int64]:
         """Degree of every original record (its number of neighbours)."""
         return np.array([len(a) for a in self.adjacency], dtype=np.int64)
 
-    def right_degrees(self) -> np.ndarray:
+    def right_degrees(self) -> NDArray[np.int64]:
         """Degree of every generalized record."""
         return self._reverse_degrees.copy()
 

@@ -40,6 +40,13 @@ class EntropyMeasure(LossMeasure):
 
     name = "entropy"
 
+    # Data-dependent: the conditional entropy of a subset can *drop*
+    # when a dominant value joins it, and is bounded by log2(domain)
+    # rather than 1 — so neither soundness flag holds (REP005 requires
+    # the claims to be stated, not inherited).
+    monotone = False
+    bounded_unit = False
+
     def node_costs(
         self, attribute: EncodedAttribute, value_counts: np.ndarray
     ) -> np.ndarray:

@@ -19,10 +19,13 @@ collection is in.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.errors import ClosureError, SchemaError
 from repro.tabular.attribute import Attribute
+
+if TYPE_CHECKING:  # numpy stays a lazy import for the fast-path builders
+    import numpy as np
 
 
 def _mask_of(indices: Iterable[int]) -> int:
@@ -413,7 +416,7 @@ class IntervalCollection(SubsetCollection):
         lo_b, hi_b = self.interval_of(node_b)
         return self._node_of_interval[(min(lo_a, lo_b), max(hi_a, hi_b))]
 
-    def build_join_table(self):
+    def build_join_table(self) -> np.ndarray:
         """Vectorized join table for the encoder's fast path."""
         import numpy as np
 
@@ -430,7 +433,7 @@ class IntervalCollection(SubsetCollection):
             index[a, b] = node
         return index[lo, hi]
 
-    def build_ancestor_table(self):
+    def build_ancestor_table(self) -> np.ndarray:
         """Vectorized value-in-node table for the encoder's fast path."""
         import numpy as np
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.report import format_table
+from repro.report import format_table
 from repro.tabular.encoding import EncodedTable
 from repro.utility.estimator import query_errors
 from repro.utility.queries import CountQuery, random_workload

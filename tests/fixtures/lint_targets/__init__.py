@@ -1,0 +1,13 @@
+"""Fixture mini-package for the repro.analysis tests.
+
+Every module below carries exactly one intentional violation of one
+lint rule (plus one suppressed occurrence); tests/test_analysis.py
+asserts the exact rule ids and line numbers.  Nothing here is ever
+imported — the linter only parses it.
+
+REP006: ``__all__`` below exports a name the module never binds.
+"""
+
+present = 1
+
+__all__ = ["present", "ghost"]

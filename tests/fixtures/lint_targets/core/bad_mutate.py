@@ -1,0 +1,7 @@
+"""REP003 fixture: a core function mutating its input table."""
+
+from __future__ import annotations
+
+
+def merge(table: Table, extra: Record) -> None:  # noqa: F821 (never imported)
+    table.records.append(extra)

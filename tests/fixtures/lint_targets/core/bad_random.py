@@ -1,0 +1,9 @@
+"""REP001 fixture: global-RNG call in algorithm code."""
+
+from __future__ import annotations
+
+import random
+
+
+def shuffle_records(xs: list[int]) -> None:
+    random.shuffle(xs)

@@ -1,0 +1,9 @@
+"""REP004 fixture: wall-clock read in algorithm code."""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,7 @@
+"""REP005 fixture: an algorithm entry point the registry never covers."""
+
+from __future__ import annotations
+
+
+def fake_clustering(records: list[int], k: int) -> list[list[int]]:
+    return [records[i : i + k] for i in range(0, len(records), k)]

@@ -1,0 +1,9 @@
+"""Suppression fixture: same REP004 violation, silenced with a reason."""
+
+from __future__ import annotations
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: allow[REP004] fixture: demonstrates the suppression syntax

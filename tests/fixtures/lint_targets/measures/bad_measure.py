@@ -1,0 +1,12 @@
+"""REP005 fixture: a LossMeasure subclass with undeclared flags."""
+
+from __future__ import annotations
+
+
+class LossMeasure:
+    monotone = False
+    bounded_unit = False
+
+
+class BadMeasure(LossMeasure):
+    name = "bad"

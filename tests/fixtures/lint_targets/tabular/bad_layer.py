@@ -1,0 +1,5 @@
+"""LAY001 fixture: layer-1 tabular importing layer-5 experiments."""
+
+from __future__ import annotations
+
+from lint_targets.experiments.helper import helper  # noqa: F401

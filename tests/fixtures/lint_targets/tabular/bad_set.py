@@ -1,0 +1,10 @@
+"""REP002 fixture: a set iterated into an ordered output."""
+
+from __future__ import annotations
+
+
+def labels() -> list[str]:
+    out = []
+    for name in {"b", "a", "c"}:
+        out.append(name)
+    return out

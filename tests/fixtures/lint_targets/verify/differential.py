@@ -1,0 +1,5 @@
+"""Fixture registry: deliberately does NOT reference fake_clustering."""
+
+from __future__ import annotations
+
+REGISTRY: tuple[str, ...] = ("something_else",)

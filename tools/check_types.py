@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""The strict-mypy ratchet runner (see mypy.ini, docs/static-analysis.md).
+
+Runs mypy over ``src/repro`` with the committed config and compares the
+normalized error set against ``tools/mypy-baseline.txt``:
+
+* errors **not** in the baseline fail the run — new typing debt is
+  rejected at the door;
+* baseline lines that no longer occur are reported as stale so the
+  baseline only ever shrinks;
+* with ``--update-baseline`` the current error set is written back
+  (do this only after reviewing every new entry).
+
+Error lines are normalized by stripping the line/column numbers
+(``src/repro/x.py:12: error: ...`` -> ``src/repro/x.py: error: ...``)
+so that unrelated edits above a tolerated error do not churn the file.
+
+When mypy is not installed the script exits 0 with a notice: local
+environments without dev tooling stay usable, while CI (which installs
+mypy) enforces the ratchet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "mypy-baseline.txt"
+TARGET = "src/repro"
+
+_LOCATION_RE = re.compile(r"^(?P<path>[^:]+\.py):\d+(?::\d+)?: ")
+
+
+def normalize(line: str) -> str | None:
+    """``path: severity: message`` with positions stripped, or None."""
+    match = _LOCATION_RE.match(line.strip())
+    if not match:
+        return None
+    return _LOCATION_RE.sub(match.group("path") + ": ", line.strip(), count=1)
+
+
+def read_baseline() -> list[str]:
+    if not BASELINE.is_file():
+        return []
+    return [
+        line.strip()
+        for line in BASELINE.read_text().splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+
+
+def write_baseline(errors: list[str]) -> None:
+    header = [
+        line
+        for line in BASELINE.read_text().splitlines()
+        if line.lstrip().startswith("#")
+    ]
+    body = "\n".join([*header, *sorted(errors)])
+    BASELINE.write_text(body + "\n")
+
+
+def run_mypy() -> tuple[list[str], str] | None:
+    """(normalized errors, raw output), or None when mypy is missing."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return None
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "mypy",
+            "--config-file", str(REPO_ROOT / "mypy.ini"),
+            TARGET,
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    errors = []
+    for line in proc.stdout.splitlines():
+        if ": error: " in line:
+            normalized = normalize(line)
+            if normalized:
+                errors.append(normalized)
+    return errors, proc.stdout + proc.stderr
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite tools/mypy-baseline.txt with the current error set",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_mypy()
+    if result is None:
+        print(
+            "check_types: mypy is not installed; skipping the ratchet "
+            "(CI runs it — `pip install mypy` to check locally)"
+        )
+        return 0
+    errors, raw = result
+
+    if args.update_baseline:
+        write_baseline(errors)
+        print(f"check_types: baseline updated with {len(errors)} entr(y/ies)")
+        return 0
+
+    baseline = set(read_baseline())
+    current = set(errors)
+    new = sorted(current - baseline)
+    stale = sorted(baseline - current)
+
+    if new:
+        print("check_types: NEW mypy errors (not in tools/mypy-baseline.txt):")
+        for line in new:
+            print(f"  {line}")
+        print()
+        print(raw.rstrip())
+        print(
+            "\nFix the errors above, or — only for reviewed, tolerated "
+            "debt — run `python tools/check_types.py --update-baseline`."
+        )
+        return 1
+    for line in stale:
+        print(
+            f"check_types: stale baseline entry no longer occurs: {line}"
+        )
+    if stale:
+        print(
+            "check_types: run `python tools/check_types.py "
+            "--update-baseline` to shrink the baseline"
+        )
+    print(
+        f"check_types: ok — {len(current)} baselined error(s), "
+        f"{len(stale)} stale"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,10 +3,10 @@
 The codebase layers strictly::
 
     errors                                           (0)
-    report · structures · tabular · analysis         (1)
+    report · structures · tabular · analysis · runtime   (1)
     matching · measures                              (2)
     core                                             (3)
-    datasets · extensions · privacy · utility · verify   (4)
+    datasets · extensions · privacy · utility · verify · runtime.fallback  (4)
     experiments                                      (5)
     cli                                              (6)
     __main__                                         (7)
@@ -19,6 +19,15 @@ exactly what blocks the ROADMAP's sharding/multi-backend refactors
 (a backend must be able to depend on ``core`` without dragging the CLI
 along).  The package facade (``__init__`` at the scan root) is exempt:
 re-exporting from every layer is its job.
+
+Layer keys may be *dotted*: a map entry ``"runtime.fallback": 4``
+carves one submodule out of its parent package and gives it its own
+layer — the checker resolves every module and import target to its
+longest dotted prefix in the map.  That is how ``repro.runtime`` can
+sit *below* the algorithms (so hot loops may call
+:func:`repro.runtime.checkpoint`) while ``repro.runtime.fallback`` —
+which orchestrates those same algorithms into degradation chains —
+sits *above* them.
 
 Violations surface as ``LAY001`` (back-edge) and ``LAY002`` (module or
 import target missing from the layer map — the map must be extended
@@ -41,6 +50,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "structures": 1,
     "tabular": 1,
     "analysis": 1,
+    "runtime": 1,  # execution primitives, importable from the hot loops
     "matching": 2,
     "measures": 2,
     "core": 3,
@@ -49,6 +59,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "privacy": 4,
     "utility": 4,
     "verify": 4,
+    "runtime.fallback": 4,  # degradation chains orchestrate core algorithms
     "experiments": 5,
     "cli": 6,
     "__main__": 7,  # the entry shim sits above the CLI it wraps
@@ -89,27 +100,45 @@ class LayerChecker:
             segment = ctx.segment
             if segment in _EXEMPT_SEGMENTS:
                 continue
-            if segment not in self.layers:
+            resolved = self._resolve(self._module_dotted(ctx))
+            if resolved is None:
                 yield Finding(
                     ctx.rel, 1, 0, "LAY002",
                     f"module segment '{segment}' is not in the layer map; "
                     "assign it a layer in repro.analysis.layers",
                 )
                 continue
-            yield from self._check_module(ctx, segment)
+            yield from self._check_module(ctx, *resolved)
 
     # ----------------------------------------------------------------- #
 
+    @staticmethod
+    def _module_dotted(ctx: ModuleContext) -> str:
+        """Dotted in-package path of a module (``runtime.fallback``)."""
+        parts = ctx.rel[: -len(".py")].split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def _resolve(self, dotted: str) -> tuple[str, int] | None:
+        """Longest dotted prefix of ``dotted`` present in the layer map."""
+        parts = dotted.split(".")
+        while parts:
+            key = ".".join(parts)
+            if key in self.layers:
+                return key, self.layers[key]
+            parts.pop()
+        return None
+
     def _check_module(
-        self, ctx: ModuleContext, segment: str
+        self, ctx: ModuleContext, source_key: str, source_layer: int
     ) -> Iterator[Finding]:
-        source_layer = self.layers[segment]
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     target = self._absolute_target(alias.name)
                     yield from self._judge(
-                        ctx, node.lineno, segment, source_layer, target
+                        ctx, node.lineno, source_key, source_layer, target
                     )
             elif isinstance(node, ast.ImportFrom):
                 if node.level == 0:
@@ -117,22 +146,32 @@ class LayerChecker:
                 else:
                     target = self._relative_target(ctx, node)
                 yield from self._judge(
-                    ctx, node.lineno, segment, source_layer, target
+                    ctx, node.lineno, source_key, source_layer, target
                 )
+                # `from repro.runtime import fallback` names a carved-out
+                # submodule; judge the deeper dotted key too.
+                if target is not None and target != _FACADE:
+                    for alias in node.names:
+                        deeper = f"{target}.{alias.name}"
+                        if deeper in self.layers:
+                            yield from self._judge(
+                                ctx, node.lineno,
+                                source_key, source_layer, deeper,
+                            )
 
     def _absolute_target(self, module: str) -> str | None:
-        """Segment of an absolute import, or None for external imports."""
+        """In-package dotted path of an import, or None if external."""
         if module == self.package:
             return _FACADE
         prefix = self.package + "."
         if module.startswith(prefix):
-            return module[len(prefix):].split(".")[0]
+            return module[len(prefix):]
         return None
 
     def _relative_target(
         self, ctx: ModuleContext, node: ast.ImportFrom
     ) -> str | None:
-        """Segment a relative import resolves to, or None if unknown."""
+        """Dotted path a relative import resolves to, or None if unknown."""
         mod_parts = ctx.rel[: -len(".py")].split("/")
         if mod_parts[-1] == "__init__":
             mod_parts = mod_parts[:-1]
@@ -140,7 +179,7 @@ class LayerChecker:
         anchor = package_parts[: len(package_parts) - (node.level - 1)]
         target_parts = anchor + (node.module.split(".") if node.module else [])
         if target_parts:
-            return target_parts[0]
+            return ".".join(target_parts)
         # `from . import x` inside a subpackage: same segment.
         return ctx.segment if package_parts else None
 
@@ -148,29 +187,34 @@ class LayerChecker:
         self,
         ctx: ModuleContext,
         line: int,
-        segment: str,
+        source_key: str,
         source_layer: int,
         target: str | None,
     ) -> Iterator[Finding]:
-        if target is None or target == segment:
+        if target is None:
             return
         if target == _FACADE:
+            target_key = _FACADE
             target_layer = self._facade_layer
             target_label = f"the {self.package} package facade"
-        elif target in self.layers:
-            target_layer = self.layers[target]
-            target_label = f"'{target}' (layer {target_layer})"
         else:
-            yield Finding(
-                ctx.rel, line, 0, "LAY002",
-                f"import of '{target}', which is not in the layer map; "
-                "assign it a layer in repro.analysis.layers",
-            )
-            return
+            resolved = self._resolve(target)
+            if resolved is None:
+                yield Finding(
+                    ctx.rel, line, 0, "LAY002",
+                    f"import of '{target.split('.')[0]}', which is not in "
+                    "the layer map; assign it a layer in "
+                    "repro.analysis.layers",
+                )
+                return
+            target_key, target_layer = resolved
+            target_label = f"'{target_key}' (layer {target_layer})"
+        if target_key == source_key:
+            return  # same layer unit: intra-subpackage imports are free
         if target_layer >= source_layer:
             yield Finding(
                 ctx.rel, line, 0, "LAY001",
-                f"layer back-edge: '{segment}' (layer {source_layer}) "
+                f"layer back-edge: '{source_key}' (layer {source_layer}) "
                 f"imports {target_label}; modules may import strictly "
                 "lower layers only",
             )

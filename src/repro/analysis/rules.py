@@ -681,6 +681,106 @@ class PublicApiDrift(Rule):
                 )
 
 
+# --------------------------------------------------------------------- #
+# REP007 — swallowed exceptions
+# --------------------------------------------------------------------- #
+
+
+def _contains_raise(stmts: Iterable[ast.stmt]) -> bool:
+    """True if any statement (not inside a nested def/class) raises."""
+
+    def scan(node: ast.AST) -> bool:
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            return False  # a nested definition raising later doesn't count
+        return any(scan(child) for child in ast.iter_child_nodes(node))
+
+    return any(scan(stmt) for stmt in stmts)
+
+
+def _handler_types(node: ast.ExceptHandler) -> list[str]:
+    """Exception type names a handler catches ('' for a bare except)."""
+    if node.type is None:
+        return [""]
+    types = (
+        list(node.type.elts)
+        if isinstance(node.type, ast.Tuple)
+        else [node.type]
+    )
+    names = []
+    for t in types:
+        dotted = _dotted(t)
+        names.append(dotted.split(".")[-1] if dotted else "?")
+    return names
+
+
+class SwallowedException(Rule):
+    """REP007: broad or silent exception swallowing in runtime-critical code.
+
+    The resilience machinery (:mod:`repro.runtime`) steers execution
+    through *typed* errors — :class:`DeadlineExceeded` must abort a
+    grid run, :class:`InjectedFault` must surface in fault drills.  A
+    ``try: ... except Exception: pass`` in an algorithm or the
+    experiment harness silently eats those signals, turning a
+    cancelled run into a wrong answer.  Two shapes are flagged, in
+    ``core/`` and ``experiments/`` only:
+
+    * a handler for ``Exception``/``BaseException`` or a bare
+      ``except:`` that never re-raises;
+    * any handler whose body is nothing but ``pass``/``...``.
+
+    A deliberate broad catch (e.g. a degradation-chain rung boundary)
+    belongs in a module *designed* for it — or carries an inline
+    ``# repro: allow[REP007] reason`` suppression.
+    """
+
+    rule_id = "REP007"
+    summary = "broad or silent exception swallowing"
+    segments = ("core", "experiments")
+
+    _BROAD = {"Exception", "BaseException", ""}
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.segment not in self.segments:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _handler_types(node)
+            broad = [t for t in caught if t in self._BROAD]
+            silent = all(
+                isinstance(s, ast.Pass)
+                or (
+                    isinstance(s, ast.Expr)
+                    and isinstance(s.value, ast.Constant)
+                    and s.value.value is Ellipsis
+                )
+                for s in node.body
+            )
+            if silent:
+                label = broad[0] if broad else caught[0]
+                shown = repr(label) if label else "a bare except"
+                yield Finding(
+                    ctx.rel, node.lineno, node.col_offset, self.rule_id,
+                    f"handler for {shown} silently swallows the "
+                    "exception (body is only pass/...); handle it, "
+                    "re-raise, or narrow the catch",
+                )
+            elif broad and not _contains_raise(node.body):
+                shown = repr(broad[0]) if broad[0] else "a bare except"
+                yield Finding(
+                    ctx.rel, node.lineno, node.col_offset, self.rule_id,
+                    f"broad handler for {shown} never re-raises; it "
+                    "swallows typed runtime signals (DeadlineExceeded, "
+                    "InjectedFault) — narrow the exception type or "
+                    "re-raise what you don't handle",
+                )
+
+
 #: Every module/project rule, in rule-id order.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -689,6 +789,7 @@ ALL_RULES: tuple[Rule, ...] = (
     WallClockRead(),
     RegistryCompleteness(),
     PublicApiDrift(),
+    SwallowedException(),
 )
 
 #: rule id -> one-line summary, for ``--select`` validation and docs.

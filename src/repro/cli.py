@@ -11,7 +11,11 @@ Subcommands
 * ``experiment`` — run one of the paper's experiments
   (``table1``, ``fig1``, ``fig2``, ``fig3``, ``ablations``,
   ``global1k``, ``scaling``, ``epsilon``, or ``all`` for the complete
-  reproduction report) and print it.
+  reproduction report) and print it.  ``--timeout SECONDS`` bounds the
+  wall clock (exit code 3 on expiry), ``--journal PATH`` appends every
+  finished grid cell to a crash-safe JSONL journal, and ``--resume``
+  preloads an existing journal so finished cells are never recomputed
+  (see ``docs/robustness.md``).
 * ``fuzz`` — run the property-fuzzing and differential-verification
   harness (:mod:`repro.verify`) on random seeded instances; on failure
   prints a replay command that reproduces the case deterministically.
@@ -42,7 +46,7 @@ from typing import Sequence
 
 from repro.core.api import anonymize
 from repro.datasets.registry import dataset_names, default_size, load
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, ReproError
 from repro.tabular.encoding import EncodedTable
 from repro.tabular.io import (
     read_generalized_csv,
@@ -142,6 +146,24 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument(
         "--out", help="for 'all': also write the report to this file"
+    )
+    exp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline; on expiry the run stops with exit "
+        "code 3 (finished cells stay journaled with --journal)",
+    )
+    exp.add_argument(
+        "--journal",
+        help="crash-safe JSONL journal recording every finished grid cell",
+    )
+    exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="preload the --journal file from a previous (killed or "
+        "timed-out) run; finished cells are not recomputed",
     )
 
     fuzz_cmd = sub.add_parser(
@@ -363,9 +385,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.configs import ExperimentConfig
     from repro.experiments.runner import ExperimentRunner
+    from repro.runtime import Deadline, Journal, limit_scope
 
+    if args.resume and not args.journal:
+        raise ReproError("--resume requires --journal PATH")
+    journal = None
+    if args.journal:
+        journal = Journal(args.journal)
+        if journal.exists() and not args.resume:
+            raise ReproError(
+                f"journal {args.journal!r} already exists; pass --resume "
+                "to continue it, or remove the file to start over"
+            )
     config = ExperimentConfig(seed=args.seed)
-    runner = ExperimentRunner(config)
+    runner = ExperimentRunner(config, journal=journal, resume=args.resume)
+    if args.resume:
+        print(f"resumed {runner.resumed_cells} finished cells from {args.journal}")
+    limits = [Deadline.after(args.timeout)] if args.timeout is not None else []
+    with limit_scope(*limits):
+        code = _dispatch_experiment(args, runner)
+    if journal is not None:
+        print(
+            f"journal {args.journal}: {runner.computed_cells} cells computed, "
+            f"{runner.resumed_cells} resumed"
+        )
+    return code
+
+
+def _dispatch_experiment(args: argparse.Namespace, runner) -> int:
     name = args.name
     if name == "all":
         from repro.experiments.full_report import generate_full_report
@@ -478,6 +525,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "lint":
             return _cmd_lint(args)
         return _cmd_experiment(args)
+    except DeadlineExceeded as exc:
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
+        journal = getattr(args, "journal", None)
+        if journal:
+            print(
+                f"finished cells are journaled; rerun with "
+                f"--journal {journal} --resume to continue",
+                file=sys.stderr,
+            )
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

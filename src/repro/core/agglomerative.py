@@ -22,6 +22,7 @@ from repro.core.clustering import Clustering
 from repro.core.distances import ClusterDistance
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 
 
 class _Engine:
@@ -183,6 +184,7 @@ class _Engine:
     def run(self, modified: bool) -> Clustering:
         k = self.k
         while int(self.active.sum()) > 1:
+            checkpoint("core.agglomerative.merge")
             pair = self._pop_closest_pair()
             if pair is None:
                 break  # no finite pair left (cannot happen with >1 active)
@@ -282,4 +284,7 @@ def agglomerative_clustering(
     if k <= 1:
         # Trivial: every record is its own cluster, nothing is generalized.
         return Clustering(n, [[i] for i in range(n)])
+    # The O(n²) all-pairs matrix is one vectorized sweep; checkpoint
+    # before committing to it so a spent deadline fails fast.
+    checkpoint("core.agglomerative.init")
     return _Engine(model, distance, k).run(modified)

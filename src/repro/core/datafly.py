@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import AnonymityError, SchemaError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 from repro.tabular.encoding import EncodedTable
 
 
@@ -85,6 +86,7 @@ def datafly(model: CostModel, k: int) -> DataflyResult:
     nodes = enc.singleton_nodes.copy()
     steps: list[str] = []
     while True:
+        checkpoint("core.datafly.step")
         _, inverse, counts = np.unique(
             nodes, axis=0, return_inverse=True, return_counts=True
         )
@@ -117,6 +119,7 @@ def datafly(model: CostModel, k: int) -> DataflyResult:
     full = np.array([att.full_node for att in enc.attrs], dtype=np.int32)
     suppressed: set[int] = set()
     while True:
+        checkpoint("core.datafly.step")
         _, inverse, counts = np.unique(
             nodes, axis=0, return_inverse=True, return_counts=True
         )

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.clustering import Clustering
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 from repro.structures.union_find import UnionFind
 
 
@@ -58,6 +59,7 @@ def _build_forest(model: CostModel, k: int) -> tuple[UnionFind, list[tuple[int, 
     uf = UnionFind(n)
     edges: list[tuple[int, int]] = []
     while True:
+        checkpoint("core.forest.round")
         groups = uf.groups()
         small = sorted(
             (members for members in groups.values() if len(members) < k),
@@ -66,6 +68,7 @@ def _build_forest(model: CostModel, k: int) -> tuple[UnionFind, list[tuple[int, 
         if not small:
             break
         for members in small:
+            checkpoint("core.forest.component")
             # ``members`` is this round's snapshot; the component may have
             # grown since via another small component's link.  A stale
             # (subset) view is still a valid source for an outgoing edge.

@@ -34,6 +34,7 @@ from repro.errors import AnonymityError
 from repro.matching.allowed import allowed_edges
 from repro.matching.bipartite import ConsistencyGraph
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 
 
 @dataclass
@@ -95,6 +96,7 @@ def global_one_k_anonymize(
 
     stats = GlobalConversionStats()
     for _ in range(max_passes):
+        checkpoint("core.global_1k.pass")
         graph = ConsistencyGraph(enc, nodes)
         adjacency = graph.adjacency_lists()
         degrees = graph.left_degrees()

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 
 
 def _check_k(model: CostModel, k: int) -> None:
@@ -55,6 +56,7 @@ def k1_nearest_neighbors(model: CostModel, k: int) -> np.ndarray:
     unique_result = np.empty_like(u_nodes)
 
     for a in range(u):
+        checkpoint("core.k1.row")
         union = enc.join_rows(u_nodes, u_nodes[a])  # closure({row_a, row_b})
         pair_cost = np.asarray(model.record_cost(union), dtype=np.float64)
         order = np.argsort(pair_cost, kind="stable")
@@ -104,12 +106,14 @@ def k1_expansion(model: CostModel, k: int) -> np.ndarray:
     unique_result = np.empty_like(u_nodes)
 
     for a in range(u):
+        checkpoint("core.k1.row")
         remaining = counts.copy()
         remaining[a] -= 1
         cur = u_nodes[a].copy()
         cur_cost = float(model.record_cost(cur))
         size = 1
         while size < k:
+            checkpoint("core.k1.grow")
             union = enc.join_rows(u_nodes, cur)  # [u, r]
             cost_union = np.asarray(model.record_cost(union), dtype=np.float64)
             delta = cost_union - cur_cost

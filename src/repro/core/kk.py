@@ -16,6 +16,7 @@ from repro.core.k1 import k1_expansion, k1_nearest_neighbors
 from repro.core.one_k import one_k_anonymize
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 
 #: The two (k,1) stages selectable by name.
 EXPANDERS = ("expansion", "nearest")
@@ -46,6 +47,7 @@ def kk_anonymize(
     -------
     ``[n, r]`` node matrix satisfying (k,k)-anonymity.
     """
+    checkpoint("core.kk.couple")
     if expander == "expansion":
         base = k1_expansion(model, k)
     elif expander == "nearest":
@@ -54,6 +56,7 @@ def kk_anonymize(
         raise AnonymityError(
             f"unknown (k,1) expander {expander!r}; expected one of {EXPANDERS}"
         )
+    checkpoint("core.kk.couple")
     return one_k_anonymize(model, base, k, join_with=join_with)
 
 

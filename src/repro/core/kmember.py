@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.clustering import Clustering
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 
 
 def kmember_clustering(model: CostModel, k: int) -> Clustering:
@@ -53,6 +54,7 @@ def kmember_clustering(model: CostModel, k: int) -> Clustering:
     anchor_nodes = singletons[0]
 
     while int(unassigned.sum()) >= k:
+        checkpoint("core.kmember.cluster")
         candidates = np.flatnonzero(unassigned)
         # Seed: the unassigned record furthest from the previous anchor.
         pair_costs = np.asarray(

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.clustering import Clustering
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 from repro.tabular.encoding import EncodedTable
 
 
@@ -78,6 +79,7 @@ def mondrian_clustering(model: CostModel, k: int) -> Clustering:
     finished: list[list[int]] = []
     queue: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
     while queue:
+        checkpoint("core.mondrian.split")
         members = queue.pop()
         split = _best_split(enc, members, k)
         if split is None:

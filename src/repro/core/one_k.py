@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 
 
 def one_k_anonymize(
@@ -78,6 +79,7 @@ def one_k_anonymize(
             )
 
     for i in range(n):
+        checkpoint("core.one_k.record")
         consistent = enc.consistency_mask(i, nodes)
         ell = int(consistent.sum())
         if ell >= k:

@@ -27,6 +27,7 @@ from repro.core.clustering import Clustering
 from repro.core.distances import ClusterDistance
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.runtime import checkpoint
 from repro.tabular.encoding import EncodedTable
 from repro.tabular.table import Table
 
@@ -116,6 +117,7 @@ def blocked_agglomerative(
     blocks = _partition_blocks(enc, block_size, k)
     clusters: list[list[int]] = []
     for members in blocks:
+        checkpoint("core.scalable.block")
         sub_model = _borrow_costs(model, _encode_subset(enc, members))
         sub_clustering = agglomerative_clustering(
             sub_model, k, distance, modified=modified

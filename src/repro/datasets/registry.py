@@ -10,6 +10,7 @@ from typing import Callable
 
 from repro.datasets import adult, artificial, cmc
 from repro.errors import DatasetError
+from repro.runtime import checkpoint
 from repro.tabular.table import Schema, Table
 
 _GENERATORS: dict[str, tuple[Callable[..., Table], Callable[..., Schema], int]] = {
@@ -59,6 +60,7 @@ def load(
         Attach the dataset's private (sensitive) attribute.
     """
     key = _resolve(name)
+    checkpoint("datasets.load")
     generate, _, default_n = _GENERATORS[key]
     return generate(n if n is not None else default_n, seed=seed, private=private)
 

@@ -55,3 +55,60 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is invalid or a run failed."""
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative execution limit expired mid-run.
+
+    Raised from :func:`repro.runtime.checkpoint` when the active
+    :class:`~repro.runtime.Deadline` (wall-clock) or
+    :class:`~repro.runtime.Budget` (deterministic checkpoint count) is
+    exhausted.  The algorithms guarantee their inputs are left
+    unmutated when this propagates.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str = "",
+        elapsed: float | None = None,
+        budget: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.site = site  #: checkpoint site that observed the expiry
+        self.elapsed = elapsed  #: seconds (or checkpoints) consumed
+        self.budget = budget  #: the limit that was configured
+
+
+class RunCancelled(ReproError):
+    """A run was cancelled via :class:`repro.runtime.CancelToken`."""
+
+    def __init__(self, message: str, *, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site  #: checkpoint site that observed the cancellation
+
+
+class InjectedFault(ReproError):
+    """The default error raised by the fault-injection layer.
+
+    Never raised in production operation — only when a test or smoke
+    run activates a :class:`repro.runtime.FaultPlan` around the code
+    under test.
+    """
+
+    def __init__(self, message: str, *, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site  #: fault site that fired
+
+
+class FallbackExhausted(ReproError):
+    """Every rung of a degradation chain failed.
+
+    Carries the structured :class:`repro.runtime.fallback.FallbackReport`
+    (as :attr:`report`) describing why each rung was rejected.
+    """
+
+    def __init__(self, message: str, *, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report  #: the per-rung FallbackReport

@@ -1,4 +1,4 @@
-"""Experiment runner with encoding/model caches.
+"""Experiment runner with encoding/model caches and crash-safe resume.
 
 Every experiment in Section VI runs many algorithms on the same few
 (dataset, measure) pairs; the runner builds each
@@ -6,13 +6,19 @@ Every experiment in Section VI runs many algorithms on the same few
 :class:`~repro.measures.base.CostModel` once and memoizes individual
 algorithm runs, so the Table I grid, the figures and the ablations can
 all share work.
+
+Each memoized cell is identified by a typed :class:`RunKey` and can be
+journaled to a crash-safe JSONL file (:mod:`repro.runtime.journal`):
+pass ``journal=`` (and ``resume=True`` to preload a previous run's
+cells), and a killed grid continues where it stopped instead of
+recomputing finished cells.  ``repro-anon experiment --journal/--resume``
+is the CLI surface.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
 
 from repro.core.agglomerative import agglomerative_clustering
 from repro.core.clustering import clustering_to_nodes
@@ -21,10 +27,55 @@ from repro.core.forest import forest_clustering
 from repro.core.global_1k import global_one_k_anonymize
 from repro.core.kk import kk_anonymize
 from repro.datasets.registry import load
+from repro.errors import ExperimentError
 from repro.experiments.configs import ExperimentConfig
 from repro.measures.base import CostModel
 from repro.measures.registry import get_measure
+from repro.runtime import Journal, Timer, call_with_retry, checkpoint
 from repro.tabular.encoding import EncodedTable
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Typed identity of one memoized algorithm run (one grid cell).
+
+    Replaces the old positional ``tuple`` keys: every field is named, so
+    journal entries are self-describing and two call sites can no longer
+    collide by accident of tuple arity.  Fields that do not apply to a
+    ``kind`` stay at their empty defaults.
+    """
+
+    kind: str  #: "agg", "forest", "kk" or "global"
+    dataset: str
+    measure: str
+    k: int
+    distance: str = ""  #: agglomerative cluster distance (d1..d4, nc)
+    modified: bool = False  #: Algorithm 2 shrinking (agglomerative only)
+    expander: str = ""  #: (k,1) stage for kk/global kinds
+    join_with: str = ""  #: Algorithm 5 join target (kk kind)
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict; round-trips through :meth:`from_json`."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "RunKey":
+        """Rebuild a key from :meth:`to_json` output (journal replay)."""
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                dataset=str(data["dataset"]),
+                measure=str(data["measure"]),
+                k=int(data["k"]),
+                distance=str(data.get("distance", "")),
+                modified=bool(data.get("modified", False)),
+                expander=str(data.get("expander", "")),
+                join_with=str(data.get("join_with", "")),
+            )
+        except KeyError as exc:
+            raise ExperimentError(
+                f"journal entry is missing run-key field {exc}"
+            ) from exc
 
 
 @dataclass(frozen=True)
@@ -39,15 +90,68 @@ class RunOutcome:
         """The extra diagnostics as a dict."""
         return dict(self.extra)
 
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict; round-trips through :meth:`from_json`."""
+        return {
+            "cost": self.cost,
+            "seconds": self.seconds,
+            "extra": [[name, value] for name, value in self.extra],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "RunOutcome":
+        """Rebuild an outcome from :meth:`to_json` output."""
+        try:
+            return cls(
+                cost=float(data["cost"]),
+                seconds=float(data["seconds"]),
+                extra=tuple(
+                    (str(name), value) for name, value in data.get("extra", [])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"journal entry holds a malformed run outcome: {exc}"
+            ) from exc
+
 
 class ExperimentRunner:
-    """Shared caches + algorithm entry points for the harness."""
+    """Shared caches + algorithm entry points for the harness.
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    Parameters
+    ----------
+    config:
+        Grid configuration (datasets, sizes, measures, seed).
+    journal:
+        Optional crash-safe journal; every newly computed cell is
+        appended (with retry) as soon as it finishes.
+    resume:
+        Preload the journal's existing cells into the memo table, so
+        they are never recomputed.  ``resumed_cells`` counts them;
+        ``computed_cells`` counts the cells actually run afresh.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        journal: Journal | None = None,
+        resume: bool = False,
+    ) -> None:
         self.config = config or ExperimentConfig()
         self._tables: dict[str, EncodedTable] = {}
         self._models: dict[tuple[str, str], CostModel] = {}
-        self._runs: dict[tuple, RunOutcome] = {}
+        self._runs: dict[RunKey, RunOutcome] = {}
+        self.journal = journal
+        self.computed_cells = 0
+        self.resumed_cells = 0
+        if resume:
+            if journal is None:
+                raise ExperimentError("resume=True requires a journal")
+            for key_json, value_json in journal.entries():
+                key = RunKey.from_json(key_json)
+                if key not in self._runs:
+                    self.resumed_cells += 1
+                self._runs[key] = RunOutcome.from_json(value_json)
 
     # ------------------------------------------------------------------ #
     # caches
@@ -73,15 +177,25 @@ class ExperimentRunner:
     # algorithm runs (memoized)
     # ------------------------------------------------------------------ #
 
-    def _memo(self, key: tuple, fn) -> RunOutcome:
+    def _memo(
+        self, key: RunKey, fn: Callable[[], tuple[float, dict[str, Any]]]
+    ) -> RunOutcome:
         if key not in self._runs:
-            started = time.perf_counter()
-            cost, extra = fn()
-            self._runs[key] = RunOutcome(
+            checkpoint("experiments.cell")
+            with Timer() as timer:
+                cost, extra = fn()
+            outcome = RunOutcome(
                 cost=cost,
-                seconds=time.perf_counter() - started,
+                seconds=timer.seconds,
                 extra=tuple(sorted(extra.items())),
             )
+            self._runs[key] = outcome
+            self.computed_cells += 1
+            if self.journal is not None:
+                # Transient I/O failures must not discard a finished cell.
+                call_with_retry(
+                    lambda: self.journal.append(key.to_json(), outcome.to_json())  # type: ignore[union-attr]
+                )
         return self._runs[key]
 
     def agglomerative(
@@ -104,7 +218,10 @@ class ExperimentRunner:
                 "num_clusters": clustering.num_clusters
             }
 
-        return self._memo(("agg", dataset, measure, k, distance, modified), go)
+        key = RunKey(
+            "agg", dataset, measure, k, distance=distance, modified=modified
+        )
+        return self._memo(key, go)
 
     def forest(self, dataset: str, measure: str, k: int) -> RunOutcome:
         """One forest-baseline run."""
@@ -117,7 +234,7 @@ class ExperimentRunner:
                 "num_clusters": clustering.num_clusters
             }
 
-        return self._memo(("forest", dataset, measure, k), go)
+        return self._memo(RunKey("forest", dataset, measure, k), go)
 
     def kk(
         self,
@@ -134,7 +251,10 @@ class ExperimentRunner:
             nodes = kk_anonymize(model, k, expander=expander, join_with=join_with)
             return model.table_cost(nodes), {}
 
-        return self._memo(("kk", dataset, measure, k, expander, join_with), go)
+        key = RunKey(
+            "kk", dataset, measure, k, expander=expander, join_with=join_with
+        )
+        return self._memo(key, go)
 
     def global_1k(
         self, dataset: str, measure: str, k: int, expander: str = "expansion"
@@ -153,4 +273,4 @@ class ExperimentRunner:
                 "initial_deficient": stats.initial_deficient,
             }
 
-        return self._memo(("global", dataset, measure, k, expander), go)
+        return self._memo(RunKey("global", dataset, measure, k, expander=expander), go)

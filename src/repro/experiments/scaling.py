@@ -12,7 +12,6 @@ silent slowdown.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 
 from repro.core.agglomerative import agglomerative_clustering
@@ -24,6 +23,7 @@ from repro.datasets.registry import load
 from repro.report import format_table
 from repro.measures.base import CostModel
 from repro.measures.registry import get_measure
+from repro.runtime import Timer
 from repro.tabular.encoding import EncodedTable
 
 
@@ -87,23 +87,21 @@ def scaling_sweep(
         table = load(dataset, n=n, seed=seed)
         model = CostModel(EncodedTable(table), get_measure(measure))
 
-        started = time.perf_counter()
-        agglomerative_clustering(model, k, distance)
-        points.append(
-            ScalingPoint("agglomerative", n, time.perf_counter() - started)
-        )
+        with Timer() as timer:
+            agglomerative_clustering(model, k, distance)
+        points.append(ScalingPoint("agglomerative", n, timer.seconds))
 
-        started = time.perf_counter()
-        forest_clustering(model, k)
-        points.append(ScalingPoint("forest", n, time.perf_counter() - started))
+        with Timer() as timer:
+            forest_clustering(model, k)
+        points.append(ScalingPoint("forest", n, timer.seconds))
 
-        started = time.perf_counter()
-        kk_anonymize(model, k)
-        points.append(ScalingPoint("kk", n, time.perf_counter() - started))
+        with Timer() as timer:
+            kk_anonymize(model, k)
+        points.append(ScalingPoint("kk", n, timer.seconds))
 
-        started = time.perf_counter()
-        blocked_agglomerative(model, k, distance, block_size=max(256, 4 * k))
-        points.append(
-            ScalingPoint("blocked", n, time.perf_counter() - started)
-        )
+        with Timer() as timer:
+            blocked_agglomerative(
+                model, k, distance, block_size=max(256, 4 * k)
+            )
+        points.append(ScalingPoint("blocked", n, timer.seconds))
     return ScalingResult(dataset=dataset, k=k, points=tuple(points))

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 from numpy.typing import NDArray
 
+from repro.runtime import checkpoint
 from repro.tabular.encoding import EncodedTable
 
 
@@ -49,6 +50,7 @@ class ConsistencyGraph:
         # One consistency sweep per unique original row.
         unique_neighbours: list[NDArray[np.intp]] = []
         for row in enc.unique_codes:
+            checkpoint("matching.bipartite.row")
             mask = enc.consistency_mask_for_codes(row, node_matrix)
             unique_neighbours.append(np.flatnonzero(mask))
         self.adjacency: list[NDArray[np.intp]] = [

@@ -15,7 +15,10 @@ This package turns those facts into an executable harness:
   algorithms and the runner that executes every one against every
   applicable oracle on one instance;
 * :mod:`repro.verify.harness` — the budgeted fuzz loop with replayable
-  failure reports (``repro-anon fuzz --seed S --budget-seconds T``).
+  failure reports (``repro-anon fuzz --seed S --budget-seconds T``);
+* :mod:`repro.verify.resilience` — fault/deadline drills proving every
+  registered algorithm aborts through typed errors with its inputs
+  unmutated (see ``docs/robustness.md``).
 
 Quick use::
 
@@ -49,6 +52,7 @@ from repro.verify.harness import (
     check_case,
     fuzz,
 )
+from repro.verify.resilience import fault_resilience_check
 from repro.verify.invariants import (
     Violation,
     check_closure_algebra,
@@ -84,4 +88,5 @@ __all__ = [
     "check_case",
     "FuzzReport",
     "FuzzFailure",
+    "fault_resilience_check",
 ]

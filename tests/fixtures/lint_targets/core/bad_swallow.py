@@ -1,0 +1,20 @@
+"""Fixture: REP007 — a broad handler swallowing typed runtime signals."""
+
+
+def swallow_everything() -> int:
+    try:
+        return _compute()
+    except Exception:
+        return -1
+
+
+def swallow_silently() -> int:
+    try:
+        return _compute()
+    except ValueError:
+        pass
+    return 0
+
+
+def _compute() -> int:
+    return 1

@@ -46,7 +46,7 @@ def test_every_rule_fires_on_the_fixture(fixture_report):
     fired = {f.rule for f in fixture_report.findings}
     assert fired == {
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "LAY001",
+        "REP007", "LAY001",
     }
 
 
@@ -62,6 +62,9 @@ def test_fixture_findings_point_at_the_right_files(fixture_report):
         "core/fake_algo.py", "measures/bad_measure.py",
     ]
     assert [f.path for f in by_rule["REP006"]] == ["__init__.py"]
+    assert [f.path for f in by_rule["REP007"]] == [
+        "core/bad_swallow.py", "core/bad_swallow.py",
+    ]
     assert [f.path for f in by_rule["LAY001"]] == ["tabular/bad_layer.py"]
 
 
@@ -74,6 +77,11 @@ def test_fixture_line_numbers(fixture_report):
     assert located[("REP003", "core/bad_mutate.py")] == 7
     assert located[("REP004", "core/bad_time.py")] == 9
     assert located[("LAY001", "tabular/bad_layer.py")] == 5
+    swallow_lines = sorted(
+        f.line for f in fixture_report.findings
+        if f.rule == "REP007" and f.path == "core/bad_swallow.py"
+    )
+    assert swallow_lines == [7, 14]
 
 
 def test_suppressed_violation_is_counted_not_reported(fixture_report):
@@ -311,6 +319,7 @@ def test_shipped_tree_lints_clean_against_committed_baseline():
 def test_rule_ids_catalogue():
     assert rule_ids() == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        "REP007",
     ]
 
 

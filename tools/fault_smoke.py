@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Fault-injection smoke drill (CI job; see docs/robustness.md).
+
+Three end-to-end resilience drills, each built on deterministic fault
+injection (:mod:`repro.runtime.faults`) so a CI failure replays exactly
+on a laptop:
+
+1. **kill + resume** — run a small experiment grid with an injected
+   fault that kills the process-equivalent mid-grid, then resume from
+   the journal and prove (a) the grid completes and (b) a final resume
+   recomputes **zero** finished cells;
+2. **fallback degradation** — fault the preferred rung of the default
+   chain and prove a later rung still serves a *verified*
+   k-anonymization, with the report naming the failure;
+3. **registry drills** — :func:`repro.verify.fault_resilience_check`
+   over a few seeds: every registered algorithm must abort through
+   typed errors with its inputs unmutated.
+
+Exits non-zero on the first broken drill.  Wall clock is a few seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.errors import InjectedFault
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.runtime import FaultPlan, Journal, fault_scope
+from repro.runtime.fallback import run_with_fallback
+from repro.verify import fault_resilience_check
+from repro.verify.generators import random_instance
+
+#: Small-but-real grid: 3 ks x 2 algorithms on one dataset.
+GRID = ExperimentConfig(sizes={"art": 80, "adult": 80, "cmc": 80})
+KS = (2, 5, 10)
+KILL_AFTER = 3  #: cells allowed to finish before the injected kill
+
+
+def run_grid(runner: ExperimentRunner) -> None:
+    for k in KS:
+        runner.agglomerative("art", "entropy", k, "d3")
+        runner.forest("art", "entropy", k)
+
+
+def drill_kill_and_resume() -> str:
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Journal(Path(tmp) / "grid.jsonl")
+
+        runner = ExperimentRunner(GRID, journal=journal)
+        plan = FaultPlan().inject("experiments.cell", after=KILL_AFTER, times=None)
+        killed = False
+        with fault_scope(plan):
+            try:
+                run_grid(runner)
+            except InjectedFault:
+                killed = True
+        assert killed, "the injected kill never fired"
+        assert runner.computed_cells == KILL_AFTER, runner.computed_cells
+
+        resumed = ExperimentRunner(GRID, journal=journal, resume=True)
+        run_grid(resumed)
+        assert resumed.resumed_cells == KILL_AFTER, resumed.resumed_cells
+        expected_rest = 2 * len(KS) - KILL_AFTER
+        assert resumed.computed_cells == expected_rest, resumed.computed_cells
+
+        final = ExperimentRunner(GRID, journal=journal, resume=True)
+        run_grid(final)
+        assert final.computed_cells == 0, (
+            f"resume recomputed {final.computed_cells} finished cells"
+        )
+        return (
+            f"killed after {KILL_AFTER}/{2 * len(KS)} cells, resumed "
+            f"{resumed.resumed_cells}, recomputed 0 on final resume"
+        )
+
+
+def drill_fallback_degradation() -> str:
+    from repro.datasets.registry import load
+
+    table = load("art", n=80, seed=0)
+    plan = FaultPlan().inject("core.kk.couple", times=None)
+    with fault_scope(plan):
+        outcome = run_with_fallback(table, 5)
+    assert plan.total_fired() > 0, "the rung fault never fired"
+    assert outcome.report.winner == "agglomerative", outcome.report.format()
+    assert outcome.require().verify(), "degraded result failed verification"
+    return f"winner {outcome.report.winner!r} after: {outcome.report.format()}"
+
+
+def drill_registry(seeds: tuple[int, ...] = (0, 1, 7)) -> str:
+    for seed in seeds:
+        violations = fault_resilience_check(random_instance(seed))
+        assert not violations, (
+            f"seed {seed}: " + "; ".join(str(v) for v in violations)
+        )
+    return f"all registered algorithms clean on seeds {list(seeds)}"
+
+
+def main() -> int:
+    drills = [
+        ("kill + resume", drill_kill_and_resume),
+        ("fallback degradation", drill_fallback_degradation),
+        ("registry fault/budget drills", drill_registry),
+    ]
+    for name, drill in drills:
+        try:
+            detail = drill()
+        except AssertionError as exc:
+            print(f"FAIL {name}: {exc}")
+            return 1
+        print(f"ok   {name}: {detail}")
+    print("fault smoke: all drills passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@ layering violations — by inspecting the *code* with the stdlib ``ast``
 module.  No third-party dependency is required.
 
 * :mod:`repro.analysis.rules` — the project-specific rule catalogue
-  (REP001–REP006), each one an AST visitor or a whole-tree check;
+  (REP001–REP008), each one an AST visitor or a whole-tree check;
 * :mod:`repro.analysis.layers` — the import-layering checker enforcing
   the architecture DAG (LAY001/LAY002);
 * :mod:`repro.analysis.engine` — file discovery, inline suppressions

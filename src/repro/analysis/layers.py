@@ -8,8 +8,9 @@ The codebase layers strictly::
     core                                             (3)
     datasets · extensions · privacy · utility · verify · runtime.fallback  (4)
     experiments                                      (5)
-    cli                                              (6)
-    __main__                                         (7)
+    perf                                             (6)
+    cli                                              (7)
+    __main__                                         (8)
 
 A module may import only from *strictly lower* layers (or from its own
 subpackage).  Same-layer cross-package imports are back-edges too:
@@ -61,8 +62,9 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "verify": 4,
     "runtime.fallback": 4,  # degradation chains orchestrate core algorithms
     "experiments": 5,
-    "cli": 6,
-    "__main__": 7,  # the entry shim sits above the CLI it wraps
+    "perf": 6,  # benchmarks/parallel execution drive the experiment runner
+    "cli": 7,
+    "__main__": 8,  # the entry shim sits above the CLI it wraps
 }
 
 #: Scan-root modules outside the layer discipline.

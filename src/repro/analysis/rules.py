@@ -1,4 +1,4 @@
-"""The project-specific rule catalogue (REP001–REP006).
+"""The project-specific rule catalogue (REP001–REP008).
 
 Every rule inspects the stdlib ``ast`` of the scanned tree; none of
 them import or execute the code under analysis, so the linter is safe
@@ -781,6 +781,68 @@ class SwallowedException(Rule):
                 )
 
 
+# --------------------------------------------------------------------- #
+# REP008 — raw timer calls outside the timing layers
+# --------------------------------------------------------------------- #
+
+#: Clock *calls* that must go through :class:`repro.runtime.Timer`.
+#: Unlike REP004 (which bans wall-clock **reads** in algorithm code,
+#: everywhere-determinism), this is about benchmarkability: a raw
+#: ``time.perf_counter()`` sprinkled in a harness can't be faked in
+#: tests and can't be swapped for the bench suite's repeat-aware
+#: timing.  The monotonic clocks are *legal to inject* (passing
+#: ``time.monotonic`` as a ``clock=`` argument is the approved
+#: pattern) — only direct calls are flagged.
+_RAW_TIMERS = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+}
+
+
+class RawTimerCall(Rule):
+    """REP008: raw ``time`` clock calls outside ``perf``/``runtime``.
+
+    Timing belongs to the two layers built for it: ``repro.runtime``
+    owns the injectable :class:`~repro.runtime.Timer` and ``Deadline``
+    primitives, and ``repro.perf`` owns benchmark repetition and
+    reporting.  A direct ``time.perf_counter()`` anywhere else bakes a
+    real clock into code that tests then cannot make deterministic —
+    use ``Timer`` (optionally with an injected fake clock) instead.
+    Referencing a clock *without calling it* (``clock=time.monotonic``)
+    stays legal: injection is exactly the approved pattern.  Wall-clock
+    calls inside REP004's segments are *not* double-reported here —
+    REP004 already owns those.
+    """
+
+    rule_id = "REP008"
+    summary = "raw time.* clock call outside repro.perf/repro.runtime"
+    allowed_segments = ("perf", "runtime")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.segment in self.allowed_segments:
+            return
+        defer_to_rep004 = ctx.segment in WallClockRead.segments
+        aliases = _module_aliases(ctx.tree, "time")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolve_dotted(aliases, node.func)
+            if target in _RAW_TIMERS:
+                if defer_to_rep004 and target in _WALL_CLOCK:
+                    continue
+                yield Finding(
+                    ctx.rel,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    f"'{target}()' called outside repro.perf/repro.runtime; "
+                    "time through the injectable repro.runtime.Timer so "
+                    "tests can fake the clock",
+                )
+
+
 #: Every module/project rule, in rule-id order.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -790,6 +852,7 @@ ALL_RULES: tuple[Rule, ...] = (
     RegistryCompleteness(),
     PublicApiDrift(),
     SwallowedException(),
+    RawTimerCall(),
 )
 
 #: rule id -> one-line summary, for ``--select`` validation and docs.

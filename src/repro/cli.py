@@ -13,14 +13,20 @@ Subcommands
   ``global1k``, ``scaling``, ``epsilon``, or ``all`` for the complete
   reproduction report) and print it.  ``--timeout SECONDS`` bounds the
   wall clock (exit code 3 on expiry), ``--journal PATH`` appends every
-  finished grid cell to a crash-safe JSONL journal, and ``--resume``
+  finished grid cell to a crash-safe JSONL journal, ``--resume``
   preloads an existing journal so finished cells are never recomputed
-  (see ``docs/robustness.md``).
+  (see ``docs/robustness.md``), and ``--workers N`` fans the grid cells
+  over worker processes with results identical to a serial run
+  (``docs/performance.md``).
+* ``bench`` — run the pinned benchmark suite (:mod:`repro.perf`), write
+  a schema-versioned ``BENCH_<stamp>.json`` report and compare against
+  the latest committed baseline (``--enforce`` turns regressions into a
+  non-zero exit).
 * ``fuzz`` — run the property-fuzzing and differential-verification
   harness (:mod:`repro.verify`) on random seeded instances; on failure
   prints a replay command that reproduces the case deterministically.
 * ``lint`` — run the domain-aware static analysis
-  (:mod:`repro.analysis`): the REP001–REP006 rule catalogue plus the
+  (:mod:`repro.analysis`): the REP001–REP008 rule catalogue plus the
   import-layering DAG check, with inline suppressions and a committed
   baseline ratchet.
 
@@ -164,6 +170,67 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="preload the --journal file from a previous (killed or "
         "timed-out) run; finished cells are not recomputed",
+    )
+    exp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the grid cells (default 1 = serial); "
+        "results and journal order are identical to a serial run",
+    )
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark suite (repro.perf) and compare "
+        "against the latest BENCH_*.json baseline",
+    )
+    bench_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="small n-grid and fewer repeats (the CI smoke mode)",
+    )
+    bench_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=None,
+        help="timing repetitions per case (default: 2 quick / 5 full)",
+    )
+    bench_cmd.add_argument(
+        "--filter",
+        dest="name_filter",
+        default="",
+        metavar="SUBSTRING",
+        help="only run cases whose name contains SUBSTRING",
+    )
+    bench_cmd.add_argument(
+        "--out",
+        help="write the schema-versioned JSON report to this path "
+        "(e.g. BENCH_$(date -u +%%Y-%%m-%%d).json)",
+    )
+    bench_cmd.add_argument(
+        "--baseline",
+        help="baseline BENCH_*.json to compare against "
+        "(default: the newest BENCH_*.json in the current directory)",
+    )
+    bench_cmd.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the baseline comparison entirely",
+    )
+    bench_cmd.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit non-zero on regressions (default: warn only; pair "
+        "speedup regressions always fail under --enforce)",
+    )
+    bench_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative slowdown tolerated before flagging (default 0.5)",
+    )
+    bench_cmd.add_argument(
+        "--list", action="store_true", help="list case names and exit"
     )
 
     fuzz_cmd = sub.add_parser(
@@ -382,6 +449,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf import (
+        compare_reports,
+        default_cases,
+        find_baseline,
+        load_report,
+        run_bench,
+    )
+    from repro.perf.bench import default_stamp
+    from repro.perf.compare import DEFAULT_THRESHOLD, has_regressions
+
+    if args.list:
+        for case in default_cases(quick=args.quick):
+            tag = f" [{case.pair}/{case.role}]" if case.pair else ""
+            print(f"{case.name}  ({case.group}, n={case.n}){tag}")
+        return 0
+
+    def progress(entry: dict) -> None:
+        print(
+            f"  {entry['name']:32s} median {entry['median'] * 1000:9.2f} ms "
+            f"({len(entry['seconds'])} runs)"
+        )
+
+    report = run_bench(
+        quick=args.quick,
+        repeat=args.repeat,
+        stamp=default_stamp(),
+        name_filter=args.name_filter,
+        on_case=progress,
+    )
+    for pair in report.pairs:
+        print(f"  speedup {pair['name']:28s} {pair['speedup']:.2f}x")
+    if args.out:
+        report.write(args.out)
+        print(f"report written to {args.out}")
+
+    if args.no_compare:
+        return 0
+    baseline_path = args.baseline or find_baseline(Path.cwd())
+    if baseline_path is None:
+        print("no BENCH_*.json baseline found; comparison skipped")
+        return 0
+    baseline = load_report(baseline_path)
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    findings = compare_reports(report, baseline, threshold=threshold)
+    print(f"compared against {baseline_path} ({len(findings)} findings)")
+    for finding in findings:
+        print(f"  {finding}")
+    if args.enforce and has_regressions(findings):
+        return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.configs import ExperimentConfig
     from repro.experiments.runner import ExperimentRunner
@@ -403,6 +527,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"resumed {runner.resumed_cells} finished cells from {args.journal}")
     limits = [Deadline.after(args.timeout)] if args.timeout is not None else []
     with limit_scope(*limits):
+        if args.workers > 1:
+            from repro.perf import plan_experiment, run_parallel
+
+            plan = plan_experiment(args.name, config)
+            if plan:
+                stats = run_parallel(runner, plan, workers=args.workers)
+                print(f"parallel prefetch: {stats}")
         code = _dispatch_experiment(args, runner)
     if journal is not None:
         print(
@@ -524,6 +655,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_fuzz(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         return _cmd_experiment(args)
     except DeadlineExceeded as exc:
         print(f"deadline exceeded: {exc}", file=sys.stderr)

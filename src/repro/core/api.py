@@ -26,7 +26,6 @@ notion         algorithm
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -44,6 +43,7 @@ from repro.core.one_k import one_k_anonymize
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel, LossMeasure
 from repro.measures.registry import get_measure
+from repro.runtime import Timer
 from repro.tabular.encoding import EncodedTable
 from repro.tabular.table import GeneralizedTable, Table
 
@@ -162,7 +162,7 @@ def anonymize(
 
     clustering: Clustering | None = None
     stats: dict[str, Any] = {}
-    started = time.perf_counter()
+    timer = Timer().__enter__()
 
     if notion == "k":
         algo = algorithm or "agglomerative"
@@ -229,7 +229,7 @@ def anonymize(
         stats["conversion_fixes"] = conv.fixes
         stats["initial_deficient"] = conv.initial_deficient
         notion = "global-1k"
-    elapsed = time.perf_counter() - started
+    elapsed = timer.elapsed()
 
     gtable = enc.decode_table(node_matrix)
     cost = model.table_cost(node_matrix)

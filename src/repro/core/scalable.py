@@ -150,6 +150,13 @@ def _encode_subset(parent: EncodedTable, members: np.ndarray) -> EncodedTable:
     # Keep the FULL table's distribution: eq. (3) conditions on the whole
     # database, and the borrowed cost model was built from it anyway.
     sub.value_counts = parent.value_counts
+    # Closure memos are keyed by value sets, which are schema-level, so
+    # the sub-table can share (and extend) the parent's cache; the flat
+    # join tables are schema-level too and shared outright.
+    sub._closure_cache = parent._closure_cache
+    sub._join_flat = parent._join_flat
+    sub._join_offsets = parent._join_offsets
+    sub._join_cols = parent._join_cols
     return sub
 
 

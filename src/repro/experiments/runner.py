@@ -17,6 +17,7 @@ is the CLI surface.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict, dataclass
 from typing import Any, Callable
 
@@ -141,6 +142,11 @@ class ExperimentRunner:
         self._tables: dict[str, EncodedTable] = {}
         self._models: dict[tuple[str, str], CostModel] = {}
         self._runs: dict[RunKey, RunOutcome] = {}
+        # Guards _runs / the cell counters / the journal appends: the
+        # parallel executor's completion callbacks land on arbitrary
+        # threads, and interleaved memo-store + journal-append pairs
+        # would tear the journal (see TestRunnerThreadSafety).
+        self._lock = threading.Lock()
         self.journal = journal
         self.computed_cells = 0
         self.resumed_cells = 0
@@ -180,15 +186,29 @@ class ExperimentRunner:
     def _memo(
         self, key: RunKey, fn: Callable[[], tuple[float, dict[str, Any]]]
     ) -> RunOutcome:
-        if key not in self._runs:
-            checkpoint("experiments.cell")
-            with Timer() as timer:
-                cost, extra = fn()
-            outcome = RunOutcome(
-                cost=cost,
-                seconds=timer.seconds,
-                extra=tuple(sorted(extra.items())),
-            )
+        with self._lock:
+            cached = self._runs.get(key)
+        if cached is not None:
+            return cached
+        # Compute outside the lock (cells take seconds; holding the lock
+        # would serialize concurrent callers), then store first-wins.
+        checkpoint("experiments.cell")
+        with Timer() as timer:
+            cost, extra = fn()
+        outcome = RunOutcome(
+            cost=cost,
+            seconds=timer.seconds,
+            extra=tuple(sorted(extra.items())),
+        )
+        return self._store(key, outcome)
+
+    def _store(self, key: RunKey, outcome: RunOutcome) -> RunOutcome:
+        """Store a finished cell: first writer wins, memo/counter/journal
+        updated atomically so the journal gets exactly one entry per key."""
+        with self._lock:
+            existing = self._runs.get(key)
+            if existing is not None:
+                return existing
             self._runs[key] = outcome
             self.computed_cells += 1
             if self.journal is not None:
@@ -196,7 +216,51 @@ class ExperimentRunner:
                 call_with_retry(
                     lambda: self.journal.append(key.to_json(), outcome.to_json())  # type: ignore[union-attr]
                 )
-        return self._runs[key]
+            return outcome
+
+    def has(self, key: RunKey) -> bool:
+        """Whether a cell is already memoized (resumed or computed)."""
+        with self._lock:
+            return key in self._runs
+
+    def absorb(self, key: RunKey, outcome: RunOutcome) -> RunOutcome:
+        """Merge a cell computed elsewhere (e.g. by a worker process).
+
+        Counts toward ``computed_cells`` and is journaled exactly like a
+        locally computed cell; if the key is already memoized the
+        existing outcome wins and the merge is a no-op.
+        """
+        return self._store(key, outcome)
+
+    def run_key(self, key: RunKey) -> RunOutcome:
+        """Run (or recall) the cell identified by ``key``.
+
+        The dispatch inverse of the typed entry points below: parallel
+        workers receive bare :class:`RunKey` values and route them here.
+        """
+        if key.kind == "agg":
+            return self.agglomerative(
+                key.dataset,
+                key.measure,
+                key.k,
+                key.distance,
+                modified=key.modified,
+            )
+        if key.kind == "forest":
+            return self.forest(key.dataset, key.measure, key.k)
+        if key.kind == "kk":
+            return self.kk(
+                key.dataset,
+                key.measure,
+                key.k,
+                expander=key.expander,
+                join_with=key.join_with,
+            )
+        if key.kind == "global":
+            return self.global_1k(
+                key.dataset, key.measure, key.k, expander=key.expander
+            )
+        raise ExperimentError(f"unknown run kind {key.kind!r}")
 
     def agglomerative(
         self,

@@ -1,0 +1,61 @@
+"""Performance subsystem: parallel experiment execution + benchmarks.
+
+Three concerns live here, one module each:
+
+* :mod:`repro.perf.plan` — enumerate the :class:`~repro.experiments.runner.RunKey`
+  cells an experiment will request, in the exact order the serial code
+  requests them.  A plan is pure data, so it can be fanned out.
+* :mod:`repro.perf.parallel` — run a plan's cells on a
+  ``ProcessPoolExecutor`` and merge the outcomes back into an
+  :class:`~repro.experiments.runner.ExperimentRunner` in deterministic
+  (submission) order, composing with the journal/checkpoint/resume
+  machinery of :mod:`repro.runtime`.
+* :mod:`repro.perf.bench` / :mod:`repro.perf.compare` — the pinned
+  benchmark suite behind ``repro-anon bench`` and the regression
+  comparator for committed ``BENCH_<stamp>.json`` baselines.
+
+:mod:`repro.perf.equivalence` closes the loop: it asserts that the
+parallel path is observationally identical to the serial one, reporting
+:class:`~repro.verify.invariants.Violation` objects the verification
+harness understands.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BenchCase,
+    BenchReport,
+    default_cases,
+    machine_fingerprint,
+    run_bench,
+)
+from repro.perf.compare import (
+    ComparisonFinding,
+    compare_reports,
+    find_baseline,
+    load_report,
+)
+from repro.perf.equivalence import (
+    canonical_journal_entries,
+    check_parallel_equivalence,
+)
+from repro.perf.parallel import ParallelStats, run_parallel
+from repro.perf.plan import plan_cells, plan_experiment
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchCase",
+    "BenchReport",
+    "ComparisonFinding",
+    "ParallelStats",
+    "canonical_journal_entries",
+    "check_parallel_equivalence",
+    "compare_reports",
+    "default_cases",
+    "find_baseline",
+    "load_report",
+    "machine_fingerprint",
+    "plan_cells",
+    "plan_experiment",
+    "run_bench",
+    "run_parallel",
+]

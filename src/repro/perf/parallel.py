@@ -1,0 +1,159 @@
+"""Process-pool execution of experiment cell plans.
+
+The grid cells of Section VI are embarrassingly parallel: each
+:class:`~repro.experiments.runner.RunKey` depends only on (dataset,
+measure) caches every worker can rebuild from the
+:class:`~repro.experiments.configs.ExperimentConfig`.  :func:`run_parallel`
+fans a plan's *pending* cells over a ``ProcessPoolExecutor`` and merges
+the outcomes back into the coordinating runner **in submission order**,
+so the memo contents, counters and journal are deterministic — a
+parallel run's journal lists cells in exactly the order a serial run
+would have computed them (timings differ, nothing else; see
+:mod:`repro.perf.equivalence`).
+
+Composition with :mod:`repro.runtime`:
+
+* **journal/resume** — only the parent appends to the journal (one
+  writer, via the runner's lock); cells already resumed from a journal
+  are never submitted, so a killed parallel grid resumes with zero
+  recomputation, exactly like serial.
+* **deadlines/cancellation** — the collection loop polls each future
+  with a short timeout and calls :func:`~repro.runtime.checkpoint`
+  between polls, so an active :class:`~repro.runtime.Deadline` or
+  :class:`~repro.runtime.CancelToken` interrupts a parallel grid
+  promptly; the pool is then torn down without waiting for stragglers.
+* **fault injection** — the sites ``perf.parallel.submit`` and
+  ``perf.parallel.collect`` let tests crash the coordinator at the two
+  interesting places.
+
+Workers are seeded deterministically from ``config.seed`` before
+building their runner, so any randomized algorithm behaves identically
+in every worker and in the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner, RunKey, RunOutcome
+from repro.runtime import checkpoint
+
+#: How long one future poll blocks before re-checking limits (seconds).
+POLL_SECONDS = 0.1
+
+#: The worker-global runner, built once per worker by :func:`_worker_init`
+#: so dataset encodings and cost models are cached across that worker's
+#: cells instead of being rebuilt per cell.
+_WORKER_RUNNER: ExperimentRunner | None = None
+
+
+def _worker_init(config: ExperimentConfig) -> None:
+    """Per-process initializer: deterministic seeding + shared caches."""
+    global _WORKER_RUNNER
+    random.seed(config.seed)
+    _WORKER_RUNNER = ExperimentRunner(config)
+
+
+def _worker_run(key: RunKey) -> RunOutcome:
+    """Compute one cell in the worker's runner."""
+    assert _WORKER_RUNNER is not None, "worker used before initialization"
+    return _WORKER_RUNNER.run_key(key)
+
+
+@dataclass(frozen=True)
+class ParallelStats:
+    """What one :func:`run_parallel` call did."""
+
+    workers: int  #: pool size actually used
+    planned: int  #: distinct cells in the plan
+    skipped: int  #: cells already memoized (resumed or previously run)
+    submitted: int  #: cells sent to the pool
+    merged: int  #: outcomes absorbed back into the runner
+
+    def __str__(self) -> str:
+        return (
+            f"{self.merged}/{self.submitted} cells merged on "
+            f"{self.workers} workers ({self.skipped} already done)"
+        )
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork``: workers inherit loaded modules, so startup is
+    milliseconds instead of a fresh interpreter per worker."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_parallel(
+    runner: ExperimentRunner,
+    keys: Iterable[RunKey],
+    workers: int,
+) -> ParallelStats:
+    """Prefetch ``keys`` into ``runner``'s memo using worker processes.
+
+    Cells already memoized are skipped; the rest are submitted in plan
+    order and their outcomes absorbed (memoized + journaled) in the same
+    order as each future completes its turn.  With ``workers <= 1`` the
+    pending cells are simply computed in-process, in order — the
+    degenerate case is the serial path itself.
+
+    Returns a :class:`ParallelStats` summary.  Raises whatever an
+    active runtime limit raises (``DeadlineExceeded``, ``RunCancelled``)
+    or the first cell exception re-raised from a worker; in both cases
+    the pool is shut down without waiting and every already-absorbed
+    cell stays memoized and journaled.
+    """
+    plan = list(dict.fromkeys(keys))
+    pending = [key for key in plan if not runner.has(key)]
+    skipped = len(plan) - len(pending)
+    if workers <= 1 or not pending:
+        for key in pending:
+            runner.run_key(key)
+        return ParallelStats(
+            workers=1,
+            planned=len(plan),
+            skipped=skipped,
+            submitted=len(pending),
+            merged=len(pending),
+        )
+
+    workers = min(workers, len(pending))
+    merged = 0
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_mp_context(),
+        initializer=_worker_init,
+        initargs=(runner.config,),
+    )
+    try:
+        checkpoint("perf.parallel.submit")
+        futures = [(key, pool.submit(_worker_run, key)) for key in pending]
+        for key, future in futures:
+            while True:
+                checkpoint("perf.parallel.collect")
+                try:
+                    outcome = future.result(timeout=POLL_SECONDS)
+                except FutureTimeoutError:
+                    continue
+                break
+            runner.absorb(key, outcome)
+            merged += 1
+    except BaseException:
+        # Deadline / cancellation / worker failure: drop stragglers.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return ParallelStats(
+        workers=workers,
+        planned=len(plan),
+        skipped=skipped,
+        submitted=len(pending),
+        merged=merged,
+    )

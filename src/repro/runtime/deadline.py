@@ -211,27 +211,35 @@ def checkpoint(site: str) -> None:
 
 
 class Timer:
-    """Monotonic elapsed-time measurement (``time.perf_counter``).
+    """Monotonic elapsed-time measurement with an injectable clock.
 
     The single sanctioned way to time experiment work: wall-clock
     (``time.time``) drifts under NTP adjustments and is banned from
-    algorithm code by lint rule REP004.
+    algorithm code by lint rule REP004; raw ``time.perf_counter`` calls
+    outside :mod:`repro.perf`/:mod:`repro.runtime` are banned by REP008
+    so that tests can substitute a fake clock.
 
     ::
 
         with Timer() as timer:
             run()
         outcome.seconds = timer.seconds
+
+    :meth:`elapsed` reads the running total mid-flight, for loops that
+    poll their own duration (e.g. the fuzzing harness's time budget).
     """
 
-    __slots__ = ("seconds", "_started")
+    __slots__ = ("seconds", "_clock", "_started", "_running")
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Clock = time.perf_counter) -> None:
         self.seconds = 0.0
+        self._clock = clock
         self._started = 0.0
+        self._running = False
 
     def __enter__(self) -> "Timer":
-        self._started = time.perf_counter()
+        self._started = self._clock()
+        self._running = True
         return self
 
     def __exit__(
@@ -240,4 +248,11 @@ class Timer:
         exc: BaseException | None,
         tb: TracebackType | None,
     ) -> None:
-        self.seconds = time.perf_counter() - self._started
+        self.seconds = self._clock() - self._started
+        self._running = False
+
+    def elapsed(self) -> float:
+        """Seconds since ``__enter__`` (or the final total once exited)."""
+        if self._running:
+            return self._clock() - self._started
+        return self.seconds

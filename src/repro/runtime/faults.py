@@ -57,6 +57,8 @@ KNOWN_SITES: frozenset[str] = frozenset(
         "runtime.journal.load",
         "runtime.journal.replace",
         "experiments.cell",
+        "perf.parallel.submit",
+        "perf.parallel.collect",
     }
 )
 

@@ -114,6 +114,10 @@ class EncodedTable:
         "unique_counts",
         "unique_singleton_nodes",
         "value_counts",
+        "_closure_cache",
+        "_join_flat",
+        "_join_offsets",
+        "_join_cols",
     )
 
     def __init__(self, table: Table) -> None:
@@ -150,6 +154,31 @@ class EncodedTable:
             for j, att in enumerate(self.attrs)
         )
 
+        # Memoized closure lookups: (attribute, sorted unique value bytes)
+        # -> node index.  The agglomerative engine re-closes overlapping
+        # record sets thousands of times per run (merges, Algorithm 2
+        # shrinks); for the generic SubsetCollection each closure is a
+        # linear node scan, so the memo turns the hot path into a dict hit.
+        self._closure_cache: dict[tuple[int, bytes], int] = {}
+
+        # All per-attribute join tables concatenated flat, so a whole
+        # [*, r] row join is ONE fancy-index instead of r separate ones
+        # (numpy call overhead dominates the engine's small-row joins).
+        # flat index of join[a, b] in attribute j:
+        #   offsets[j] + a * cols[j] + b.
+        self._join_flat = np.concatenate(
+            [att.join.ravel() for att in self.attrs]
+        )
+        self._join_cols = np.array(
+            [att.num_nodes for att in self.attrs], dtype=np.int64
+        )
+        table_sizes = np.array(
+            [att.join.size for att in self.attrs], dtype=np.int64
+        )
+        self._join_offsets = np.concatenate(
+            ([0], np.cumsum(table_sizes[:-1]))
+        )
+
     # ------------------------------------------------------------------ #
     # shape accessors
     # ------------------------------------------------------------------ #
@@ -169,6 +198,17 @@ class EncodedTable:
         """Number of distinct rows ``u``."""
         return int(self.unique_codes.shape[0])
 
+    @property
+    def exact_joins(self) -> bool:
+        """Whether every attribute's join fold computes exact closures.
+
+        See :attr:`repro.tabular.hierarchy.SubsetCollection.exact_joins`;
+        vectorized closure shortcuts (e.g.
+        :meth:`leave_one_out_closures`) are only available when this
+        holds for all attributes.
+        """
+        return all(att.collection.exact_joins for att in self.attrs)
+
     # ------------------------------------------------------------------ #
     # closures and joins
     # ------------------------------------------------------------------ #
@@ -178,30 +218,83 @@ class EncodedTable:
 
         Computed from the union of value sets per attribute (not by
         iterated joins), so it is exact even for non-laminar collections.
+        Results are memoized per (attribute, value set): the hot loops
+        re-close heavily overlapping record sets, and for the generic
+        collection each miss costs a linear node scan.
         """
         idx = np.fromiter(indices, dtype=np.int64)
         if idx.size == 0:
             raise SchemaError("closure of an empty record set is undefined")
+        cache = self._closure_cache
         nodes = np.empty(self.num_attributes, dtype=np.int32)
         for j, att in enumerate(self.attrs):
             values = np.unique(self.codes[idx, j])
-            nodes[j] = att.collection.closure_of_value_indices(values.tolist())
+            key = (j, values.tobytes())
+            node = cache.get(key)
+            if node is None:
+                node = att.collection.closure_of_value_indices(values.tolist())
+                cache[key] = node
+            nodes[j] = node
         return nodes
+
+    def leave_one_out_closures(self, indices: Sequence[int]) -> np.ndarray:
+        """Closure nodes of every leave-one-out subset of ``indices``.
+
+        Row ``i`` of the returned ``int32[len(indices), r]`` matrix is
+        the per-attribute closure of ``indices`` with element ``i``
+        removed.  Computed with prefix/suffix join folds over the
+        precomputed join tables — O(size · r) lookups instead of the
+        O(size² · r) closure scans of the naive per-subset loop — which
+        is exact precisely when :attr:`exact_joins` holds.
+
+        Raises
+        ------
+        SchemaError
+            If fewer than two records are given (a leave-one-out subset
+            would be empty) or :attr:`exact_joins` does not hold.
+        """
+        if not self.exact_joins:
+            raise SchemaError(
+                "leave_one_out_closures requires exact joins; compute "
+                "closures per subset with closure_of_records instead"
+            )
+        idx = np.asarray(list(indices), dtype=np.int64)
+        size = idx.size
+        if size < 2:
+            raise SchemaError(
+                "leave-one-out closures need at least two records"
+            )
+        single = self.singleton_nodes[idx]  # [size, r]
+        r = self.num_attributes
+        prefix = np.empty((size, r), dtype=np.int32)  # closure of idx[:i+1]
+        suffix = np.empty((size, r), dtype=np.int32)  # closure of idx[i:]
+        prefix[0] = single[0]
+        suffix[size - 1] = single[size - 1]
+        for i in range(1, size):
+            prefix[i] = self.join_rows(prefix[i - 1], single[i])
+            suffix[size - 1 - i] = self.join_rows(
+                suffix[size - i], single[size - 1 - i]
+            )
+        out = np.empty((size, r), dtype=np.int32)
+        out[0] = suffix[1]
+        out[size - 1] = prefix[size - 2]
+        for i in range(1, size - 1):
+            out[i] = self.join_rows(prefix[i - 1], suffix[i + 1])
+        return out
 
     def join_rows(self, nodes_a: np.ndarray, nodes_b: np.ndarray) -> np.ndarray:
         """Vectorized per-attribute join of two node arrays.
 
         ``nodes_a`` may be ``[r]`` or ``[*, r]``; ``nodes_b`` likewise;
         standard numpy broadcasting applies along the leading axis.
+        One indexing pass over the flat concatenated join tables (the
+        last axis addresses the per-attribute table via the precomputed
+        offsets/strides).
         """
-        nodes_a = np.asarray(nodes_a)
-        nodes_b = np.asarray(nodes_b)
-        out = np.empty(np.broadcast_shapes(nodes_a.shape, nodes_b.shape), dtype=np.int32)
-        a2 = np.broadcast_to(nodes_a, out.shape)
-        b2 = np.broadcast_to(nodes_b, out.shape)
-        for j, att in enumerate(self.attrs):
-            out[..., j] = att.join[a2[..., j], b2[..., j]]
-        return out
+        nodes_a = np.asarray(nodes_a, dtype=np.int64)
+        nodes_b = np.asarray(nodes_b, dtype=np.int64)
+        flat_index = self._join_offsets + nodes_a * self._join_cols + nodes_b
+        return self._join_flat[flat_index].astype(np.int32, copy=False)
 
     def consistency_mask(
         self, record_index: int, gen_nodes: np.ndarray

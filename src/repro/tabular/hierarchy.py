@@ -233,6 +233,19 @@ class SubsetCollection:
         """Whether the collection forms a tree (hierarchy)."""
         return self._laminar
 
+    @property
+    def exact_joins(self) -> bool:
+        """Whether iterated :meth:`join` folds compute exact closures.
+
+        True when the join is associative and ``closure(S) = fold(join,
+        singletons of S)`` — the case for laminar collections (joins are
+        LCAs) and for :class:`IntervalCollection` (joins are spanning
+        intervals).  Hot paths such as the agglomerative shrink step use
+        this to replace per-subset closure scans with join-table
+        lookups; when False they fall back to exact closure computation.
+        """
+        return self._laminar
+
     def parent(self, node: int) -> int:
         """Parent node in the hierarchy tree (root's parent is itself).
 
@@ -394,6 +407,11 @@ class IntervalCollection(SubsetCollection):
         self._num_values = m
         self._laminar = m <= 1  # overlapping intervals once m ≥ 2
         self._parent = self._compute_parents() if self._laminar else None
+
+    @property
+    def exact_joins(self) -> bool:
+        """Interval joins (spanning intervals) are associative and exact."""
+        return True
 
     def interval_of(self, node: int) -> tuple[int, int]:
         """The (lo, hi) value-index bounds of a node."""

@@ -14,12 +14,12 @@ re-executes precisely the failing case, nothing else.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro.runtime import Timer
 from repro.verify.differential import differential_check
 from repro.verify.generators import (
     Instance,
@@ -150,14 +150,17 @@ def fuzz(
     """
     if budget_seconds is None and max_cases is None:
         budget_seconds = DEFAULT_BUDGET_SECONDS
-    started = time.perf_counter()
+    timer = Timer().__enter__()
     report = FuzzReport(seed=seed)
     i = 0
     while True:
         if max_cases is not None and i >= max_cases:
             break
-        elapsed = time.perf_counter() - started
-        if budget_seconds is not None and elapsed >= budget_seconds and i > 0:
+        if (
+            budget_seconds is not None
+            and timer.elapsed() >= budget_seconds
+            and i > 0
+        ):
             break
         case_seed = seed + i
         instance = random_instance(case_seed)
@@ -172,5 +175,5 @@ def fuzz(
         report.cases_run = i
         if len(report.failures) >= max_failures:
             break
-    report.elapsed_seconds = time.perf_counter() - started
+    report.elapsed_seconds = timer.elapsed()
     return report

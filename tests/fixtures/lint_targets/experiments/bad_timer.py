@@ -1,0 +1,13 @@
+"""REP008 fixture: raw clock calls instead of the injectable Timer."""
+
+import time
+from time import perf_counter
+
+
+def measure() -> float:
+    start = perf_counter()
+    _ = time.monotonic()
+    return time.perf_counter() - start
+
+
+CLOCK = time.monotonic  # a reference, not a call: injection is allowed

@@ -46,7 +46,7 @@ def test_every_rule_fires_on_the_fixture(fixture_report):
     fired = {f.rule for f in fixture_report.findings}
     assert fired == {
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "REP007", "LAY001",
+        "REP007", "REP008", "LAY001",
     }
 
 
@@ -65,6 +65,9 @@ def test_fixture_findings_point_at_the_right_files(fixture_report):
     assert [f.path for f in by_rule["REP007"]] == [
         "core/bad_swallow.py", "core/bad_swallow.py",
     ]
+    assert [f.path for f in by_rule["REP008"]] == [
+        "experiments/bad_timer.py"
+    ] * 3
     assert [f.path for f in by_rule["LAY001"]] == ["tabular/bad_layer.py"]
 
 
@@ -82,6 +85,10 @@ def test_fixture_line_numbers(fixture_report):
         if f.rule == "REP007" and f.path == "core/bad_swallow.py"
     )
     assert swallow_lines == [7, 14]
+    timer_lines = sorted(
+        f.line for f in fixture_report.findings if f.rule == "REP008"
+    )
+    assert timer_lines == [8, 9, 10]
 
 
 def test_suppressed_violation_is_counted_not_reported(fixture_report):
@@ -319,8 +326,23 @@ def test_shipped_tree_lints_clean_against_committed_baseline():
 def test_rule_ids_catalogue():
     assert rule_ids() == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "REP007",
+        "REP007", "REP008",
     ]
+
+
+def test_rep008_allows_timing_layers(tmp_path):
+    # Raw clock calls are the whole point of repro.runtime / repro.perf;
+    # REP008 must stay quiet there while flagging everyone else.
+    pkg = tmp_path / "p"
+    for segment in ("runtime", "perf", "experiments"):
+        (pkg / segment).mkdir(parents=True)
+        (pkg / segment / "m.py").write_text(
+            "import time\n"
+            "def f() -> float:\n"
+            "    return time.perf_counter()\n"
+        )
+    report = lint_tree(pkg, select=["REP008"])
+    assert [f.path for f in report.findings] == ["experiments/m.py"]
 
 
 # --------------------------------------------------------------------- #

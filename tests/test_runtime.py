@@ -253,7 +253,7 @@ class TestFaultPlan:
     def test_known_sites_cover_every_core_module(self):
         prefixes = {site.split(".")[0] for site in KNOWN_SITES}
         assert prefixes == {
-            "core", "matching", "datasets", "runtime", "experiments"
+            "core", "matching", "datasets", "runtime", "experiments", "perf"
         }
 
 
@@ -680,3 +680,132 @@ class TestExperimentResume:
         assert plan.total_fired() == 1  # the write really failed once
         assert runner.computed_cells == 1
         assert len(journal.entries()) == 1  # ...and the retry landed it
+
+
+# --------------------------------------------------------------------- #
+# the runner memo/journal under concurrency
+# --------------------------------------------------------------------- #
+
+
+class TestRunnerThreadSafety:
+    """Regression tests for the memo/journal race fixed by the runner
+    lock: before it, two threads finishing the same cell could both
+    append to the journal and tear the computed-cell counter."""
+
+    def test_concurrent_memo_hammer_journals_each_cell_once(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        journal = Journal(tmp_path / "hammer.jsonl")
+        runner = ExperimentRunner(SMALL_GRID, journal=journal)
+        keys = [RunKey("forest", "art", "entropy", k) for k in (2, 3, 4)]
+
+        def slam(_: int) -> list[RunOutcome]:
+            return [runner.run_key(key) for _ in range(10) for key in keys]
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            results = list(pool.map(slam, range(16)))
+
+        # first writer won every cell: one memo entry, one journal line,
+        # one counted computation per key — no duplicates, no tearing.
+        assert runner.computed_cells == len(keys)
+        assert len(journal.entries()) == len(keys)
+        for outcomes in results:
+            for i, outcome in enumerate(outcomes):
+                assert outcome is runner._runs[keys[i % len(keys)]]
+
+    def test_concurrent_absorb_first_writer_wins(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        journal = Journal(tmp_path / "absorb.jsonl")
+        runner = ExperimentRunner(SMALL_GRID, journal=journal)
+        key = RunKey("forest", "art", "entropy", 5)
+        outcomes = [RunOutcome(cost=float(i), seconds=0.0) for i in range(8)]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            winners = list(
+                pool.map(lambda outcome: runner.absorb(key, outcome), outcomes)
+            )
+
+        assert len({id(winner) for winner in winners}) == 1
+        assert runner.computed_cells == 1
+        assert len(journal.entries()) == 1
+
+
+# --------------------------------------------------------------------- #
+# a SIGTERM-killed *parallel* grid resumes with zero recomputation
+# --------------------------------------------------------------------- #
+
+
+class TestParallelKillResume:
+    def test_sigterm_mid_parallel_grid_resumes_with_zero_recompute(
+        self, tmp_path
+    ):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        from repro.perf import plan_experiment, run_parallel
+
+        if os.name != "posix":
+            pytest.skip("process-group SIGTERM is POSIX-only")
+
+        n = 150
+        journal_path = tmp_path / "parallel.jsonl"
+        repo_src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["REPRO_BENCH_N"] = str(n)
+        env["PYTHONPATH"] = str(repo_src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli",
+                "experiment", "fig2",
+                "--workers", "4",
+                "--journal", str(journal_path),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,  # own process group: killpg is exact
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break  # finished before we could kill: still resumable
+                if (
+                    journal_path.exists()
+                    and journal_path.read_bytes().count(b"\n") >= 2
+                ):
+                    os.killpg(proc.pid, signal.SIGTERM)
+                    break
+                time.sleep(0.02)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=60)
+
+        config = ExperimentConfig(sizes={"art": n, "adult": n, "cmc": n})
+        plan = plan_experiment("fig2", config)
+        journal = Journal(journal_path)
+        survivors = len(journal.entries())
+        assert survivors >= 1  # the kill landed after real progress
+
+        resumed = ExperimentRunner(config, journal=journal, resume=True)
+        stats = run_parallel(resumed, plan, workers=4)
+        assert resumed.resumed_cells == survivors
+        assert stats.skipped == survivors  # journaled cells never resubmitted
+        assert stats.merged == len(plan) - survivors
+        assert resumed.computed_cells == len(plan) - survivors
+        assert len(journal.entries()) == len(plan)  # journal intact + complete
+
+        # A second parallel resume recomputes *zero* finished cells.
+        final = ExperimentRunner(config, journal=journal, resume=True)
+        final_stats = run_parallel(final, plan, workers=4)
+        assert final_stats.submitted == 0
+        assert final.computed_cells == 0

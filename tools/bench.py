@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Pinned benchmark suite entry point (CI job; see docs/performance.md).
+
+A thin shim over ``repro-anon bench`` so CI and developers share one
+invocation that works without installing the package::
+
+    python tools/bench.py --quick            # <60s smoke tier
+    python tools/bench.py                    # full suite, writes BENCH_*.json
+    python tools/bench.py --quick --enforce  # fail on regressions
+
+All flags are forwarded verbatim to the ``bench`` subcommand of
+:mod:`repro.cli`; run with ``--help`` for the full list.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -3,14 +3,15 @@
 The codebase layers strictly::
 
     errors                                           (0)
-    report · structures · tabular · analysis · runtime   (1)
-    matching · measures                              (2)
-    core                                             (3)
-    datasets · extensions · privacy · utility · verify · runtime.fallback  (4)
-    experiments                                      (5)
-    perf                                             (6)
-    cli                                              (7)
-    __main__                                         (8)
+    obs                                              (1)
+    report · structures · tabular · analysis · runtime   (2)
+    matching · measures · obs.summarize              (3)
+    core                                             (4)
+    datasets · extensions · privacy · utility · verify · runtime.fallback  (5)
+    experiments                                      (6)
+    perf                                             (7)
+    cli                                              (8)
+    __main__                                         (9)
 
 A module may import only from *strictly lower* layers (or from its own
 subpackage).  Same-layer cross-package imports are back-edges too:
@@ -28,7 +29,11 @@ longest dotted prefix in the map.  That is how ``repro.runtime`` can
 sit *below* the algorithms (so hot loops may call
 :func:`repro.runtime.checkpoint`) while ``repro.runtime.fallback`` —
 which orchestrates those same algorithms into degradation chains —
-sits *above* them.
+sits *above* them.  ``obs`` plays the same trick twice: the collection
+machinery (tracer, metrics) sits *below everything but errors* so the
+runtime checkpoint and any hot loop may feed it, while
+``obs.summarize`` — which renders through ``repro.report`` — is carved
+out above the report layer.
 
 Violations surface as ``LAY001`` (back-edge) and ``LAY002`` (module or
 import target missing from the layer map — the map must be extended
@@ -47,24 +52,26 @@ from repro.analysis.rules import ModuleContext
 #: higher only.
 DEFAULT_LAYERS: Mapping[str, int] = {
     "errors": 0,
-    "report": 1,
-    "structures": 1,
-    "tabular": 1,
-    "analysis": 1,
-    "runtime": 1,  # execution primitives, importable from the hot loops
-    "matching": 2,
-    "measures": 2,
-    "core": 3,
-    "datasets": 4,
-    "extensions": 4,
-    "privacy": 4,
-    "utility": 4,
-    "verify": 4,
-    "runtime.fallback": 4,  # degradation chains orchestrate core algorithms
-    "experiments": 5,
-    "perf": 6,  # benchmarks/parallel execution drive the experiment runner
-    "cli": 7,
-    "__main__": 8,  # the entry shim sits above the CLI it wraps
+    "obs": 1,  # tracing/metrics collection, fed by every layer above
+    "report": 2,
+    "structures": 2,
+    "tabular": 2,
+    "analysis": 2,
+    "runtime": 2,  # execution primitives, importable from the hot loops
+    "matching": 3,
+    "measures": 3,
+    "obs.summarize": 3,  # renders via repro.report, so sits above it
+    "core": 4,
+    "datasets": 5,
+    "extensions": 5,
+    "privacy": 5,
+    "utility": 5,
+    "verify": 5,
+    "runtime.fallback": 5,  # degradation chains orchestrate core algorithms
+    "experiments": 6,
+    "perf": 7,  # benchmarks/parallel execution drive the experiment runner
+    "cli": 8,
+    "__main__": 9,  # the entry shim sits above the CLI it wraps
 }
 
 #: Scan-root modules outside the layer discipline.

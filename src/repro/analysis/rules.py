@@ -1,4 +1,4 @@
-"""The project-specific rule catalogue (REP001–REP008).
+"""The project-specific rule catalogue (REP001–REP009).
 
 Every rule inspects the stdlib ``ast`` of the scanned tree; none of
 them import or execute the code under analysis, so the linter is safe
@@ -843,6 +843,49 @@ class RawTimerCall(Rule):
                 )
 
 
+# --------------------------------------------------------------------- #
+# REP009 — bare print() outside the presentation layers
+# --------------------------------------------------------------------- #
+
+
+class BarePrint(Rule):
+    """REP009: bare ``print()`` outside ``cli``/``report``/``tools``.
+
+    Library code talks through return values, the journal, and
+    ``repro.obs`` — a stray ``print()`` in an algorithm or runtime
+    module is debug output that bypasses all three: it is invisible to
+    the journal, unfakeable in tests, and garbles machine-readable CLI
+    output when the module runs under ``repro-anon``.  The presentation
+    layers (``cli``, ``repro.report`` consumers rendering to stdout,
+    ``tools`` scripts, ``__main__``) are exactly where printing *is*
+    the job, so they stay exempt.
+    """
+
+    rule_id = "REP009"
+    summary = "bare print() outside cli/report/tools presentation layers"
+    allowed_segments = ("cli", "report", "tools", "__main__")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.segment in self.allowed_segments:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield Finding(
+                    ctx.rel,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    "bare 'print()' outside the presentation layers; "
+                    "debug output here is invisible to the journal — "
+                    "return data, record a metric via repro.obs, or "
+                    "move the printing into cli/report",
+                )
+
+
 #: Every module/project rule, in rule-id order.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -853,6 +896,7 @@ ALL_RULES: tuple[Rule, ...] = (
     PublicApiDrift(),
     SwallowedException(),
     RawTimerCall(),
+    BarePrint(),
 )
 
 #: rule id -> one-line summary, for ``--select`` validation and docs.

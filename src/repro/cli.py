@@ -15,18 +15,23 @@ Subcommands
   wall clock (exit code 3 on expiry), ``--journal PATH`` appends every
   finished grid cell to a crash-safe JSONL journal, ``--resume``
   preloads an existing journal so finished cells are never recomputed
-  (see ``docs/robustness.md``), and ``--workers N`` fans the grid cells
+  (see ``docs/robustness.md``), ``--workers N`` fans the grid cells
   over worker processes with results identical to a serial run
-  (``docs/performance.md``).
+  (``docs/performance.md``), and ``--trace PATH`` / ``--metrics PATH``
+  record a span trace and a work-unit metrics snapshot without
+  changing any result (``docs/observability.md``).
 * ``bench`` — run the pinned benchmark suite (:mod:`repro.perf`), write
   a schema-versioned ``BENCH_<stamp>.json`` report and compare against
   the latest committed baseline (``--enforce`` turns regressions into a
-  non-zero exit).
+  non-zero exit; ``--metrics`` embeds a work-unit snapshot).
+* ``trace`` — work with span traces written by ``experiment --trace``:
+  ``convert`` to Chrome ``trace_event`` JSON (chrome://tracing,
+  Perfetto), ``summarize`` to a per-phase time/work table.
 * ``fuzz`` — run the property-fuzzing and differential-verification
   harness (:mod:`repro.verify`) on random seeded instances; on failure
   prints a replay command that reproduces the case deterministically.
 * ``lint`` — run the domain-aware static analysis
-  (:mod:`repro.analysis`): the REP001–REP008 rule catalogue plus the
+  (:mod:`repro.analysis`): the REP001–REP009 rule catalogue plus the
   import-layering DAG check, with inline suppressions and a committed
   baseline ratchet.
 
@@ -178,6 +183,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the grid cells (default 1 = serial); "
         "results and journal order are identical to a serial run",
     )
+    exp.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a span trace (JSONL) of the run; convert with "
+        "'repro-anon trace convert' for chrome://tracing / Perfetto",
+    )
+    exp.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a JSON snapshot of work-unit counters/histograms "
+        "(written even when the run hits --timeout)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="convert or summarize span traces written by "
+        "'experiment --trace'",
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    convert_cmd = trace_sub.add_parser(
+        "convert", help="convert a JSONL trace to Chrome trace_event JSON"
+    )
+    convert_cmd.add_argument("trace", help="span trace JSONL file")
+    convert_cmd.add_argument(
+        "--out", required=True, help="output Chrome trace_event JSON path"
+    )
+    summarize_cmd = trace_sub.add_parser(
+        "summarize", help="print a per-phase time/work table"
+    )
+    summarize_cmd.add_argument(
+        "trace", nargs="?", help="span trace JSONL file"
+    )
+    summarize_cmd.add_argument(
+        "--metrics", help="metrics snapshot JSON to include in the summary"
+    )
 
     bench_cmd = sub.add_parser(
         "bench",
@@ -231,6 +271,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument(
         "--list", action="store_true", help="list case names and exit"
+    )
+    bench_cmd.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect work-unit metrics during the suite and embed the "
+        "snapshot in the report (schema repro.perf.bench/2)",
     )
 
     fuzz_cmd = sub.add_parser(
@@ -459,7 +505,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_report,
         run_bench,
     )
-    from repro.perf.bench import default_stamp
     from repro.perf.compare import DEFAULT_THRESHOLD, has_regressions
 
     if args.list:
@@ -477,15 +522,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     report = run_bench(
         quick=args.quick,
         repeat=args.repeat,
-        stamp=default_stamp(),
         name_filter=args.name_filter,
         on_case=progress,
+        collect_metrics=args.metrics,
     )
     for pair in report.pairs:
         print(f"  speedup {pair['name']:28s} {pair['speedup']:.2f}x")
+    if args.metrics and report.metrics is not None:
+        counters = report.metrics.get("counters", {})
+        print(f"  metrics snapshot embedded ({len(counters)} counters)")
     if args.out:
-        report.write(args.out)
-        print(f"report written to {args.out}")
+        # A directory means "name the file for me": BENCH_<stamp>.json.
+        out = Path(args.out)
+        if out.is_dir():
+            out = out / f"BENCH_{report.stamp}.json"
+        report.write(out)
+        print(f"report written to {out}")
 
     if args.no_compare:
         return 0
@@ -507,9 +559,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+    from contextlib import ExitStack
+
     from repro.experiments.configs import ExperimentConfig
     from repro.experiments.runner import ExperimentRunner
-    from repro.runtime import Deadline, Journal, limit_scope
+    from repro.obs import MetricsRegistry, Tracer, metrics_scope, trace_scope
+    from repro.runtime import Deadline, Journal, atomic_write_text, limit_scope
 
     if args.resume and not args.journal:
         raise ReproError("--resume requires --journal PATH")
@@ -526,15 +582,37 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.resume:
         print(f"resumed {runner.resumed_cells} finished cells from {args.journal}")
     limits = [Deadline.after(args.timeout)] if args.timeout is not None else []
-    with limit_scope(*limits):
-        if args.workers > 1:
-            from repro.perf import plan_experiment, run_parallel
+    registry = MetricsRegistry() if args.metrics else None
+    try:
+        with ExitStack() as scopes:
+            if args.trace:
+                scopes.enter_context(trace_scope(Tracer(args.trace)))
+            if registry is not None:
+                scopes.enter_context(metrics_scope(registry))
+            with limit_scope(*limits):
+                if args.workers > 1:
+                    from repro.perf import plan_experiment, run_parallel
 
-            plan = plan_experiment(args.name, config)
-            if plan:
-                stats = run_parallel(runner, plan, workers=args.workers)
-                print(f"parallel prefetch: {stats}")
-        code = _dispatch_experiment(args, runner)
+                    plan = plan_experiment(args.name, config)
+                    if plan:
+                        stats = run_parallel(
+                            runner, plan, workers=args.workers
+                        )
+                        print(f"parallel prefetch: {stats}")
+                code = _dispatch_experiment(args, runner)
+    finally:
+        # Write the snapshot even when a deadline aborts the run: the
+        # partial counters say where the time went before the cutoff.
+        if registry is not None:
+            atomic_write_text(
+                args.metrics,
+                json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+                + "\n",
+            )
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if registry is not None:
+        print(f"metrics snapshot written to {args.metrics}")
     if journal is not None:
         print(
             f"journal {args.journal}: {runner.computed_cells} cells computed, "
@@ -639,6 +717,35 @@ def _dispatch_experiment(args: argparse.Namespace, runner) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import load_trace, write_chrome_trace
+
+    if args.trace_command == "convert":
+        events = load_trace(args.trace)
+        write_chrome_trace(events, args.out)
+        print(f"{len(events)} spans converted to {args.out}")
+        return 0
+    # summarize
+    from repro.obs.summarize import summarize
+
+    events = load_trace(args.trace) if args.trace else []
+    snapshot = None
+    if args.metrics:
+        try:
+            snapshot = json.loads(Path(args.metrics).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(
+                f"cannot read metrics snapshot {args.metrics}: {exc}"
+            ) from exc
+    if not events and snapshot is None:
+        raise ReproError("give a trace file and/or --metrics SNAPSHOT")
+    print(summarize(events, snapshot))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -657,6 +764,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_lint(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_experiment(args)
     except DeadlineExceeded as exc:
         print(f"deadline exceeded: {exc}", file=sys.stderr)

@@ -22,6 +22,7 @@ from repro.core.clustering import Clustering
 from repro.core.distances import ClusterDistance
 from repro.errors import AnonymityError
 from repro.measures.base import CostModel
+from repro.obs import count
 from repro.runtime import checkpoint
 
 
@@ -51,6 +52,16 @@ class _Engine:
         self.row_arg = np.zeros(n, dtype=np.int64)
 
         self.output: list[list[int]] = []
+
+        # Work-unit tallies, flushed to repro.obs once per run() so the
+        # hot loops only pay integer increments.
+        self.stat_merges = 0
+        self.stat_scanned = 0  # candidate minima examined by the argmin
+        self.stat_pruned = 0  # rows whose cached minimum skipped a rescan
+        self.stat_rescans = 0
+        self.stat_shrink_candidates = 0
+        self.stat_expelled = 0
+
         self._init_matrix()
 
     # ------------------------------------------------------------------ #
@@ -156,6 +167,7 @@ class _Engine:
         scheme that keeps the engine at the paper's O(n²).
         """
         while True:
+            self.stat_scanned += 1
             x = int(np.argmin(self.row_min))
             best = self.row_min[x]
             if not np.isfinite(best):
@@ -163,6 +175,7 @@ class _Engine:
             y = int(self.row_arg[x])
             if self.active[y] and self.matrix[x, y] == best:
                 return x, y
+            self.stat_rescans += 1
             self._rescan_row(x)
 
     def _add_singleton(self, record: int) -> None:
@@ -199,6 +212,7 @@ class _Engine:
         expelled: list[int] = []
         while len(kept) > self.k:
             size = len(kept)
+            self.stat_shrink_candidates += size
             closure = enc.closure_of_records(kept)
             cost_full = float(model.record_cost(closure))
             rest_nodes = enc.leave_one_out_closures(kept)
@@ -223,6 +237,7 @@ class _Engine:
         expelled: list[int] = []
         while len(kept) > self.k:
             size = len(kept)
+            self.stat_shrink_candidates += size
             closure = enc.closure_of_records(kept)
             cost_full = float(model.record_cost(closure))
             best_i, best_d = 0, -np.inf
@@ -246,12 +261,22 @@ class _Engine:
 
     def run(self, modified: bool) -> Clustering:
         k = self.k
-        while int(self.active.sum()) > 1:
+        while True:
+            alive = int(self.active.sum())
+            if alive <= 1:
+                break
             checkpoint("core.agglomerative.merge")
+            rescans_before = self.stat_rescans
             pair = self._pop_closest_pair()
             if pair is None:
                 break  # no finite pair left (cannot happen with >1 active)
             x, y = pair
+            # Rows whose cached minimum survived this selection without
+            # a rescan — the work the dense scheme would have redone.
+            self.stat_pruned += max(
+                0, alive - (self.stat_rescans - rescans_before)
+            )
+            self.stat_merges += 1
 
             merged = self.members[x] + self.members[y]  # type: ignore[operator]
             self.members[y] = None
@@ -262,6 +287,7 @@ class _Engine:
                     merged, expelled = self._shrink(merged)
                 else:
                     expelled = []
+                self.stat_expelled += len(expelled)
                 self.output.append(merged)
                 self.members[x] = None
                 self._deactivate(x)
@@ -281,7 +307,29 @@ class _Engine:
             slot = int(leftover_slots[0])
             leftover = self.members[slot] or []
             self._distribute_leftover(leftover)
+        self._flush_stats()
         return Clustering(self.enc.num_records, self.output)
+
+    def _flush_stats(self) -> None:
+        """Publish the run's work tallies to any active metrics scope.
+
+        Zero tallies are skipped so snapshots only list counters the
+        run actually exercised (e.g. no shrink counters on Algorithm 1).
+        """
+        tallies = (
+            ("core.agglomerative.merges", self.stat_merges),
+            ("core.agglomerative.candidates_scanned", self.stat_scanned),
+            ("core.agglomerative.candidates_pruned", self.stat_pruned),
+            ("core.agglomerative.row_rescans", self.stat_rescans),
+            (
+                "core.agglomerative.shrink_candidates",
+                self.stat_shrink_candidates,
+            ),
+            ("core.agglomerative.records_expelled", self.stat_expelled),
+        )
+        for name, value in tallies:
+            if value:
+                count(name, value)
 
     def _distribute_leftover(self, leftover: list[int]) -> None:
         enc, model = self.enc, self.model

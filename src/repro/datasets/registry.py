@@ -10,6 +10,7 @@ from typing import Callable
 
 from repro.datasets import adult, artificial, cmc
 from repro.errors import DatasetError
+from repro.obs import span
 from repro.runtime import checkpoint
 from repro.tabular.table import Schema, Table
 
@@ -62,7 +63,9 @@ def load(
     key = _resolve(name)
     checkpoint("datasets.load")
     generate, _, default_n = _GENERATORS[key]
-    return generate(n if n is not None else default_n, seed=seed, private=private)
+    size = n if n is not None else default_n
+    with span("datasets.load", dataset=key, n=size):
+        return generate(size, seed=seed, private=private)
 
 
 def schema_of(name: str, private: bool = False) -> Schema:

@@ -18,7 +18,8 @@ is the CLI surface.
 from __future__ import annotations
 
 import threading
-from dataclasses import asdict, dataclass
+from contextlib import ExitStack
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable
 
 from repro.core.agglomerative import agglomerative_clustering
@@ -32,6 +33,13 @@ from repro.errors import ExperimentError
 from repro.experiments.configs import ExperimentConfig
 from repro.measures.base import CostModel
 from repro.measures.registry import get_measure
+from repro.obs import (
+    MetricsRegistry,
+    active_registries,
+    metrics_scope,
+    observe,
+    span,
+)
 from repro.runtime import Journal, Timer, call_with_retry, checkpoint
 from repro.tabular.encoding import EncodedTable
 
@@ -81,11 +89,19 @@ class RunKey:
 
 @dataclass(frozen=True)
 class RunOutcome:
-    """Cost and timing of one algorithm run."""
+    """Cost and timing of one algorithm run.
+
+    ``metrics`` holds the cell's :class:`~repro.obs.MetricsRegistry`
+    delta snapshot when metrics collection was active while the cell
+    ran, else ``None``.  The JSON form omits the key entirely when
+    absent, so journals written with metrics off are byte-identical to
+    pre-observability journals.
+    """
 
     cost: float
     seconds: float
     extra: tuple[tuple[str, Any], ...] = ()
+    metrics: dict[str, Any] | None = field(default=None, compare=False)
 
     def extra_dict(self) -> dict[str, Any]:
         """The extra diagnostics as a dict."""
@@ -93,11 +109,14 @@ class RunOutcome:
 
     def to_json(self) -> dict[str, Any]:
         """A JSON-ready dict; round-trips through :meth:`from_json`."""
-        return {
+        data: dict[str, Any] = {
             "cost": self.cost,
             "seconds": self.seconds,
             "extra": [[name, value] for name, value in self.extra],
         }
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        return data
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "RunOutcome":
@@ -109,6 +128,7 @@ class RunOutcome:
                 extra=tuple(
                     (str(name), value) for name, value in data.get("extra", [])
                 ),
+                metrics=data.get("metrics"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExperimentError(
@@ -193,12 +213,23 @@ class ExperimentRunner:
         # Compute outside the lock (cells take seconds; holding the lock
         # would serialize concurrent callers), then store first-wins.
         checkpoint("experiments.cell")
-        with Timer() as timer:
-            cost, extra = fn()
+        # When metrics are being collected, stack a fresh registry for
+        # the cell: increments land both here (the cell's delta) and in
+        # the enclosing run-level registries underneath.
+        cell_registry = MetricsRegistry() if active_registries() else None
+        with ExitStack() as stack:
+            stack.enter_context(span("experiments.cell", **key.to_json()))
+            if cell_registry is not None:
+                stack.enter_context(metrics_scope(cell_registry))
+            with Timer() as timer:
+                cost, extra = fn()
         outcome = RunOutcome(
             cost=cost,
             seconds=timer.seconds,
             extra=tuple(sorted(extra.items())),
+            metrics=(
+                cell_registry.snapshot() if cell_registry is not None else None
+            ),
         )
         return self._store(key, outcome)
 
@@ -211,6 +242,10 @@ class ExperimentRunner:
                 return existing
             self._runs[key] = outcome
             self.computed_cells += 1
+            # Timing histogram goes to the run-level registries only
+            # (the cell's own scope has already been popped), keeping
+            # cell deltas free of nondeterministic timings.
+            observe("experiments.cell_seconds", outcome.seconds)
             if self.journal is not None:
                 # Transient I/O failures must not discard a finished cell.
                 call_with_retry(
@@ -228,9 +263,16 @@ class ExperimentRunner:
 
         Counts toward ``computed_cells`` and is journaled exactly like a
         locally computed cell; if the key is already memoized the
-        existing outcome wins and the merge is a no-op.
+        existing outcome wins and the merge is a no-op.  A cell-metrics
+        snapshot collected in the worker is folded into this process's
+        active registries (locally computed cells need no such fold —
+        their increments landed live via the scope stack).
         """
-        return self._store(key, outcome)
+        stored = self._store(key, outcome)
+        if stored is outcome and outcome.metrics is not None:
+            for registry in active_registries():
+                registry.merge_snapshot(outcome.metrics)
+        return stored
 
     def run_key(self, key: RunKey) -> RunOutcome:
         """Run (or recall) the cell identified by ``key``.

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.matching.hopcroft_karp import UNMATCHED
+from repro.obs import count
 
 
 def kuhn_matching(
@@ -29,7 +30,11 @@ def kuhn_matching(
     match_left = [UNMATCHED] * num_left
     match_right = [UNMATCHED] * num_right
 
+    path_steps = 0
+
     def try_augment(u: int, visited: list[bool]) -> bool:
+        nonlocal path_steps
+        path_steps += 1
         for v in adj[u]:
             if visited[v]:
                 continue
@@ -46,6 +51,10 @@ def kuhn_matching(
     for u in range(num_left):
         if try_augment(u, [False] * num_right):
             size += 1
+    if path_steps:
+        count("matching.kuhn.path_steps", path_steps)
+    if size:
+        count("matching.kuhn.augmenting_paths", size)
     return match_left, match_right, size
 
 

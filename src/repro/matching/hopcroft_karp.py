@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Sequence
 
+from repro.obs import count
+
 #: Marker for an unmatched vertex.
 UNMATCHED = -1
 
@@ -71,9 +73,11 @@ def hopcroft_karp(
         Iterative: the stack holds (vertex, index-into-adjacency) frames;
         on success the path is flipped from the far end back to the root.
         """
+        nonlocal path_steps
         stack: list[tuple[int, int]] = [(root, 0)]
         path: list[tuple[int, int]] = []  # (left vertex, right vertex) pairs
         while stack:
+            path_steps += 1
             u, i = stack[-1]
             if i >= len(adj[u]):
                 # Dead end: retire u from this phase and backtrack.
@@ -97,11 +101,22 @@ def hopcroft_karp(
                 stack.append((w, 0))
         return False
 
+    # Work tallies, accumulated locally and published once per call so
+    # the inner loops pay integer increments, not registry lookups.
+    phases = 0
+    path_steps = 0
     size = 0
     while bfs():
+        phases += 1
         for u in range(num_left):
             if match_left[u] == UNMATCHED and dfs(u):
                 size += 1
+    if phases:
+        count("matching.hopcroft_karp.phases", phases)
+    if path_steps:
+        count("matching.hopcroft_karp.path_steps", path_steps)
+    if size:
+        count("matching.hopcroft_karp.augmenting_paths", size)
     return match_left, match_right, size
 
 

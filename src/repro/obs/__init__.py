@@ -1,0 +1,67 @@
+"""repro.obs — structured tracing, metrics and profiling.
+
+Zero-dependency, deterministic-by-default observability:
+
+- :class:`Tracer` / :func:`span` / :func:`trace_scope` — nested spans
+  with JSONL persistence and Chrome ``trace_event`` export, fed
+  checkpoint-site tallies by the runtime's cooperative checkpoints.
+- :class:`MetricsRegistry` / :func:`count` / :func:`observe` /
+  :func:`gauge` / :func:`metrics_scope` — counters, gauges and
+  log2-bucket histograms of algorithm work units.
+
+Everything is off by default: with no scope active the helpers cost a
+single ``ContextVar`` read, and :class:`NullTracer` /
+:class:`NullRegistry` make "explicitly disabled" indistinguishable from
+"never enabled".  ``repro.obs.summarize`` (the report renderer) is a
+deliberate non-export — it lives in a higher layer; import it directly.
+"""
+
+from repro.obs.metrics import (
+    METRICS_VERSION,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    active_registries,
+    count,
+    gauge,
+    install_registry,
+    metrics_scope,
+    observe,
+)
+from repro.obs.tracer import (
+    TRACE_VERSION,
+    Clock,
+    NullTracer,
+    Tracer,
+    active_tracer,
+    chrome_trace,
+    load_trace,
+    observe_site,
+    span,
+    trace_scope,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Clock",
+    "METRICS_VERSION",
+    "TRACE_VERSION",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Tracer",
+    "active_registries",
+    "active_tracer",
+    "chrome_trace",
+    "count",
+    "gauge",
+    "install_registry",
+    "load_trace",
+    "metrics_scope",
+    "observe",
+    "observe_site",
+    "span",
+    "trace_scope",
+    "write_chrome_trace",
+]

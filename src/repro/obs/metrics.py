@@ -1,0 +1,282 @@
+"""Counters, gauges and histograms for algorithm work units.
+
+Deterministic by construction: a :class:`MetricsRegistry` never reads a
+clock or RNG — every number in a snapshot comes from an explicit
+``count``/``gauge``/``observe`` call at an instrumentation point, so two
+runs over the same inputs produce byte-identical snapshots (histograms
+of *timings* are the caller's choice and the one deliberate exception).
+
+Instrumented code never holds a registry reference.  It calls the
+module-level helpers :func:`count`, :func:`gauge` and :func:`observe`,
+which fan out to whatever registries are active on the context-local
+stack (see :func:`metrics_scope`).  With no scope active the helpers
+are a single ``ContextVar`` read — cheap enough for the checkpointed
+hot loops, and exactly zero allocation.
+
+The stack (rather than a single slot) is what makes per-cell deltas
+possible: the experiment runner pushes a fresh registry around each
+grid cell while the run-level registry stays active underneath, so one
+increment lands in both and the cell snapshot is a true delta without
+any subtraction.
+
+Histograms use fixed log2-scale buckets (one bucket per power of two)
+plus exact count/sum/min/max, so merging snapshots across processes is
+lossless addition.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+__all__ = [
+    "METRICS_VERSION",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "active_registries",
+    "count",
+    "gauge",
+    "install_registry",
+    "metrics_scope",
+    "observe",
+]
+
+#: Schema marker embedded in every snapshot.
+METRICS_VERSION = 1
+
+#: Histogram bucket exponents are clamped to this range; values outside
+#: land in the edge buckets.  2**-30 ≈ 1 ns, 2**30 ≈ 1e9 — wide enough
+#: for both timings (seconds) and work counts.
+_MIN_EXP = -30
+_MAX_EXP = 30
+
+
+def _bucket_exponent(value: float) -> int:
+    """Exponent ``e`` such that ``2**(e-1) < value <= 2**e``, clamped.
+
+    Non-positive values land in the underflow bucket ``_MIN_EXP - 1``.
+    """
+    if value <= 0.0:
+        return _MIN_EXP - 1
+    mantissa, exponent = math.frexp(value)  # value = m * 2**e, m in [0.5, 1)
+    if mantissa == 0.5:  # exact power of two: 2**(e-1) belongs below
+        exponent -= 1
+    return max(_MIN_EXP, min(_MAX_EXP, exponent))
+
+
+class Histogram:
+    """Log2-bucketed distribution with exact count/sum/min/max.
+
+    Buckets are keyed by exponent: bucket ``e`` holds values in
+    ``(2**(e-1), 2**e]``.  Exact aggregates ride along so means are
+    precise even though the shape is quantized.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        exp = _bucket_exponent(value)
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state (bucket keys as strings, sorted)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "buckets": {
+                str(exp): self.buckets[exp] for exp in sorted(self.buckets)
+            },
+        }
+
+    def merge(self, snap: Mapping[str, Any]) -> None:
+        """Fold a snapshot produced by :meth:`snapshot` into this one."""
+        self.count += int(snap.get("count", 0))
+        self.total += float(snap.get("sum", 0.0))
+        low, high = snap.get("min"), snap.get("max")
+        if low is not None and float(low) < self.minimum:
+            self.minimum = float(low)
+        if high is not None and float(high) > self.maximum:
+            self.maximum = float(high)
+        for key, n in dict(snap.get("buckets", {})).items():
+            exp = int(key)
+            self.buckets[exp] = self.buckets.get(exp, 0) + int(n)
+
+
+class MetricsRegistry:
+    """Thread-safe store of named counters, gauges and histograms.
+
+    A plain lock guards every mutation: experiment cells may run on
+    worker threads, and losing increments to a read-modify-write race
+    would make snapshots nondeterministic — the one thing this module
+    promises not to be.
+    """
+
+    #: False only on :class:`NullRegistry`; lets scopes skip no-ops.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- writes ------------------------------------------------------- #
+
+    def inc(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    # -- reads -------------------------------------------------------- #
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready, key-sorted snapshot of everything recorded."""
+        with self._lock:
+            return {
+                "v": METRICS_VERSION,
+                "counters": {
+                    name: self._counters[name]
+                    for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: self._gauges[name] for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: self._histograms[name].snapshot()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def merge_snapshot(self, snap: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this one.
+
+        Counters and histograms add; gauges are last-write-wins.
+        """
+        with self._lock:
+            for name, value in dict(snap.get("counters", {})).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in dict(snap.get("gauges", {})).items():
+                self._gauges[name] = value
+            for name, hist_snap in dict(snap.get("histograms", {})).items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram()
+                hist.merge(hist_snap)
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry that records nothing; activating it is a no-op."""
+
+    enabled = False
+
+    def inc(self, name: str, n: float = 1) -> None:  # noqa: D102
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:  # noqa: D102
+        pass
+
+    def observe(self, name: str, value: float) -> None:  # noqa: D102
+        pass
+
+
+#: Context-local stack of active registries.  A tuple so pushes copy
+#: (cheap at this depth) and forked worker processes inherit a frozen,
+#: consistent view.
+_REGISTRIES: ContextVar[Tuple[MetricsRegistry, ...]] = ContextVar(
+    "repro_obs_registries", default=()
+)
+
+
+def active_registries() -> Tuple[MetricsRegistry, ...]:
+    """The registries currently receiving metric writes (may be empty)."""
+    return _REGISTRIES.get()
+
+
+@contextmanager
+def metrics_scope(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Push ``registry`` onto the active stack for the ``with`` body.
+
+    A :class:`NullRegistry` is not pushed at all, so the off path keeps
+    its empty-stack fast path.
+    """
+    if not registry.enabled:
+        yield registry
+        return
+    token = _REGISTRIES.set(_REGISTRIES.get() + (registry,))
+    try:
+        yield registry
+    finally:
+        _REGISTRIES.reset(token)
+
+
+def install_registry(registry: MetricsRegistry) -> None:
+    """Permanently add ``registry`` to the active stack.
+
+    For process-pool workers (where there is no enclosing ``with`` to
+    scope the registry); the stack entry lives until the process exits.
+    """
+    if registry.enabled:
+        _REGISTRIES.set(_REGISTRIES.get() + (registry,))
+
+
+def count(name: str, n: float = 1) -> None:
+    """Add ``n`` to counter ``name`` in every active registry."""
+    registries = _REGISTRIES.get()
+    if registries:
+        for registry in registries:
+            registry.inc(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` in every active registry."""
+    registries = _REGISTRIES.get()
+    if registries:
+        for registry in registries:
+            registry.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` in every active registry."""
+    registries = _REGISTRIES.get()
+    if registries:
+        for registry in registries:
+            registry.observe(name, value)

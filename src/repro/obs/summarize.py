@@ -1,0 +1,125 @@
+"""Human-readable roll-ups of traces and metrics snapshots.
+
+Sits one layer above the rest of ``repro.obs`` (mirroring the
+``runtime.fallback`` carve-out) because it renders through
+``repro.report`` — the collection machinery in ``tracer``/``metrics``
+stays importable from the lowest layers, while this module is only
+pulled in by the CLI.  Keep it out of ``repro.obs.__init__`` for the
+same reason.
+
+The output is the profiling deliverable: a per-phase time/work table
+(span name → count, total/mean duration, checkpoint hits) plus counter,
+gauge and histogram tables from a :class:`~repro.obs.MetricsRegistry`
+snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.report import format_table
+
+__all__ = ["summarize", "summarize_metrics", "summarize_spans"]
+
+
+def summarize_spans(events: Sequence[Mapping[str, Any]]) -> str:
+    """Per-phase time/work table from span records.
+
+    Groups spans by name; ``hits`` is the total number of cooperative
+    checkpoints observed inside spans of that name (the work proxy that
+    piggybacks on the existing hot-loop hooks).
+    """
+    grouped: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        name = str(event.get("name", "?"))
+        stats = grouped.setdefault(
+            name, {"spans": 0, "seconds": 0.0, "hits": 0}
+        )
+        stats["spans"] += 1
+        stats["seconds"] += float(event.get("dur", 0.0))
+        stats["hits"] += sum(dict(event.get("sites", {})).values())
+    rows: List[List[object]] = []
+    for name in sorted(grouped, key=lambda n: -grouped[n]["seconds"]):
+        stats = grouped[name]
+        spans = int(stats["spans"])
+        rows.append(
+            [
+                name,
+                spans,
+                stats["seconds"],
+                (stats["seconds"] / spans) * 1e3 if spans else 0.0,
+                int(stats["hits"]),
+            ]
+        )
+    if not rows:
+        return "(no spans recorded)"
+    return format_table(
+        ["phase", "spans", "total s", "mean ms", "ckpt hits"],
+        rows,
+        precision=3,
+    )
+
+
+def summarize_metrics(snapshot: Mapping[str, Any]) -> str:
+    """Counter / gauge / histogram tables from a registry snapshot."""
+    sections: List[str] = []
+    counters = dict(snapshot.get("counters", {}))
+    if counters:
+        sections.append(
+            format_table(
+                ["counter", "value"],
+                [[name, counters[name]] for name in sorted(counters)],
+                precision=0,
+            )
+        )
+    gauges = dict(snapshot.get("gauges", {}))
+    if gauges:
+        sections.append(
+            format_table(
+                ["gauge", "value"],
+                [[name, gauges[name]] for name in sorted(gauges)],
+                precision=4,
+            )
+        )
+    histograms = dict(snapshot.get("histograms", {}))
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = int(hist.get("count", 0))
+            total = float(hist.get("sum", 0.0))
+            rows.append(
+                [
+                    name,
+                    count,
+                    total,
+                    total / count if count else 0.0,
+                    hist.get("min"),
+                    hist.get("max"),
+                ]
+            )
+        sections.append(
+            format_table(
+                ["histogram", "count", "sum", "mean", "min", "max"],
+                rows,
+                precision=4,
+            )
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def summarize(
+    events: Sequence[Mapping[str, Any]] = (),
+    snapshot: Mapping[str, Any] | None = None,
+) -> str:
+    """Combined per-phase and metrics report (either part optional)."""
+    parts: List[str] = []
+    if events:
+        parts.append("Per-phase time/work\n" + summarize_spans(events))
+    if snapshot is not None:
+        parts.append("Metrics\n" + summarize_metrics(snapshot))
+    if not parts:
+        return "(nothing to summarize)"
+    return "\n\n".join(parts)

@@ -22,9 +22,12 @@ harness understands.
 
 from repro.perf.bench import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
     BenchCase,
     BenchReport,
     default_cases,
+    default_report_path,
+    default_stamp,
     machine_fingerprint,
     run_bench,
 )
@@ -43,6 +46,7 @@ from repro.perf.plan import plan_cells, plan_experiment
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BENCH_SCHEMA_V1",
     "BenchCase",
     "BenchReport",
     "ComparisonFinding",
@@ -51,6 +55,8 @@ __all__ = [
     "check_parallel_equivalence",
     "compare_reports",
     "default_cases",
+    "default_report_path",
+    "default_stamp",
     "find_baseline",
     "load_report",
     "machine_fingerprint",

@@ -26,6 +26,7 @@ import platform
 import statistics
 import subprocess
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -49,11 +50,18 @@ from repro.measures.entropy import (
     node_costs_reference,
 )
 from repro.measures.registry import get_measure
+from repro.obs import MetricsRegistry, NullRegistry, metrics_scope, span
 from repro.runtime import Timer, atomic_write_text
 from repro.tabular.encoding import EncodedTable
 
 #: Version tag of the report format; bump on breaking layout changes.
-BENCH_SCHEMA = "repro.perf.bench/1"
+#: v2 added the optional top-level ``metrics`` snapshot
+#: (``repro-anon bench --metrics``); the comparator reads both.
+BENCH_SCHEMA = "repro.perf.bench/2"
+
+#: Previous schema, still accepted by :mod:`repro.perf.compare` so
+#: committed v1 baselines keep working.
+BENCH_SCHEMA_V1 = "repro.perf.bench/1"
 
 #: n-grid per mode: quick keeps the whole suite under the CI smoke cap.
 QUICK_SIZES = (80,)
@@ -99,10 +107,11 @@ class BenchReport:
     git_sha: str
     cases: list[dict[str, Any]] = field(default_factory=list)
     pairs: list[dict[str, Any]] = field(default_factory=list)
+    metrics: dict[str, Any] | None = None  #: suite-wide obs snapshot
 
     def to_json(self) -> dict[str, Any]:
         """The schema-versioned JSON payload."""
-        return {
+        data: dict[str, Any] = {
             "schema": BENCH_SCHEMA,
             "stamp": self.stamp,
             "quick": self.quick,
@@ -112,6 +121,9 @@ class BenchReport:
             "cases": self.cases,
             "pairs": self.pairs,
         }
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        return data
 
     def case(self, name: str) -> dict[str, Any] | None:
         """One case's entry by name (None when absent)."""
@@ -134,11 +146,26 @@ class BenchReport:
         )
 
 
-def default_stamp() -> str:
-    """A filesystem-safe UTC stamp for ``BENCH_<stamp>.json`` names."""
+def default_stamp(clock: Callable[[], float] = time.time) -> str:
+    """A filesystem-safe UTC stamp for ``BENCH_<stamp>.json`` names.
+
+    The wall-clock read goes through an injectable epoch-seconds
+    ``clock`` so the filename path is testable (a fake clock yields an
+    exact, assertable stamp) instead of being the one line no test
+    could pin down.
+    """
     from datetime import datetime, timezone
 
-    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H%M%SZ")
+    return datetime.fromtimestamp(clock(), timezone.utc).strftime(
+        "%Y-%m-%dT%H%M%SZ"
+    )
+
+
+def default_report_path(
+    directory: str | Path = ".", clock: Callable[[], float] = time.time
+) -> Path:
+    """Where a fresh report lands: ``<directory>/BENCH_<stamp>.json``."""
+    return Path(directory) / f"BENCH_{default_stamp(clock)}.json"
 
 
 def machine_fingerprint() -> dict[str, Any]:
@@ -318,10 +345,11 @@ def _time_case(case: BenchCase, repeat: int) -> dict[str, Any]:
     fn = case.setup()
     fn()  # warmup: fills caches / JIT-ish lazy imports outside the timing
     seconds: list[float] = []
-    for _ in range(repeat):
-        with Timer() as timer:
-            fn()
-        seconds.append(timer.seconds)
+    with span("perf.bench.case", case=case.name):
+        for _ in range(repeat):
+            with Timer() as timer:
+                fn()
+            seconds.append(timer.seconds)
     return {
         "name": case.name,
         "group": case.group,
@@ -343,8 +371,17 @@ def run_bench(
     stamp: str = "",
     name_filter: str = "",
     on_case: Callable[[dict[str, Any]], None] | None = None,
+    collect_metrics: bool = False,
+    clock: Callable[[], float] = time.time,
 ) -> BenchReport:
-    """Run the suite and return the report (not yet written to disk)."""
+    """Run the suite and return the report (not yet written to disk).
+
+    With ``collect_metrics=True`` a fresh
+    :class:`~repro.obs.MetricsRegistry` is scoped around the whole
+    suite and its snapshot embedded in the report (``metrics`` key) —
+    work-unit counters give regression hunts a second axis besides raw
+    timings.  ``stamp`` defaults to :func:`default_stamp` on ``clock``.
+    """
     if cases is None:
         cases = default_cases(quick=quick)
     if name_filter:
@@ -358,17 +395,21 @@ def run_bench(
     if repeat < 1:
         raise ReproError(f"repeat must be positive, got {repeat}")
     report = BenchReport(
-        stamp=stamp,
+        stamp=stamp or default_stamp(clock),
         quick=quick,
         repeat=repeat,
         machine=machine_fingerprint(),
         git_sha=git_sha(),
     )
-    for case in cases:
-        entry = _time_case(case, repeat)
-        report.cases.append(entry)
-        if on_case is not None:
-            on_case(entry)
+    registry = MetricsRegistry() if collect_metrics else NullRegistry()
+    with metrics_scope(registry):
+        for case in cases:
+            entry = _time_case(case, repeat)
+            report.cases.append(entry)
+            if on_case is not None:
+                on_case(entry)
+    if collect_metrics:
+        report.metrics = registry.snapshot()
     _attach_pairs(report)
     return report
 

@@ -22,7 +22,11 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ReproError
-from repro.perf.bench import BENCH_SCHEMA, BenchReport
+from repro.perf.bench import BENCH_SCHEMA, BENCH_SCHEMA_V1, BenchReport
+
+#: Schemas the comparator accepts: current plus the pre-metrics v1
+#: layout (committed baselines are never rewritten retroactively).
+ACCEPTED_SCHEMAS = (BENCH_SCHEMA, BENCH_SCHEMA_V1)
 
 #: Default relative slowdown tolerated before a case/pair is flagged.
 DEFAULT_THRESHOLD = 0.5
@@ -60,14 +64,18 @@ def load_report(path: str | Path) -> BenchReport:
 
 
 def report_from_json(data: Any, source: str = "<memory>") -> BenchReport:
-    """Validate a JSON payload against :data:`BENCH_SCHEMA`."""
+    """Validate a JSON payload against :data:`ACCEPTED_SCHEMAS`.
+
+    v1 reports simply have no ``metrics`` key; every field the
+    comparator reads is identical across the two versions.
+    """
     if not isinstance(data, dict):
         raise ReproError(f"bench report {source} is not a JSON object")
     schema = data.get("schema")
-    if schema != BENCH_SCHEMA:
+    if schema not in ACCEPTED_SCHEMAS:
         raise ReproError(
-            f"bench report {source} has schema {schema!r}, expected "
-            f"{BENCH_SCHEMA!r}"
+            f"bench report {source} has schema {schema!r}, expected one of "
+            f"{list(ACCEPTED_SCHEMAS)!r}"
         )
     for field_name in ("stamp", "repeat", "machine", "git_sha", "cases", "pairs"):
         if field_name not in data:
@@ -98,6 +106,7 @@ def report_from_json(data: Any, source: str = "<memory>") -> BenchReport:
         git_sha=str(data["git_sha"]),
         cases=list(cases),
         pairs=list(pairs),
+        metrics=data.get("metrics"),
     )
 
 

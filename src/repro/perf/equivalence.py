@@ -2,10 +2,13 @@
 
 The parallel executor must be *observationally identical* to the serial
 path: same costs, same extra diagnostics, same journal entries in the
-same order.  The only legitimate difference is the measured ``seconds``
-of each cell (worker wall-clock vs parent wall-clock), so every
-comparison here canonicalizes outcomes by zeroing ``seconds`` and then
-requires **byte identity** of the canonical JSON serialization.
+same order.  The only legitimate differences are the measured
+``seconds`` of each cell (worker wall-clock vs parent wall-clock) and
+any per-cell ``metrics`` snapshot (a worker's cold caches do different
+amounts of work than the serial runner's warm ones), so every
+comparison here canonicalizes outcomes by zeroing ``seconds`` and
+stripping ``metrics``, then requires **byte identity** of the
+canonical JSON serialization.
 
 Findings are reported as :class:`repro.verify.invariants.Violation`
 objects — the same vocabulary the differential-verification harness
@@ -30,9 +33,17 @@ from repro.verify.invariants import Violation
 
 
 def _canonical_outcome(outcome_json: dict) -> dict:
-    """Outcome JSON with the machine-dependent timing zeroed."""
+    """Outcome JSON with the machine-dependent fields dropped.
+
+    ``seconds`` is zeroed (worker vs parent wall-clock), and any
+    ``metrics`` snapshot is stripped: cell metrics are *execution*
+    deltas, and a worker's cold caches legitimately record different
+    hit/miss splits than the serial runner's warm ones.  Results —
+    costs and extra diagnostics — must still match byte-for-byte.
+    """
     canonical = dict(outcome_json)
     canonical["seconds"] = 0.0
+    canonical.pop("metrics", None)
     return canonical
 
 

@@ -42,6 +42,12 @@ from typing import Iterable
 
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner, RunKey, RunOutcome
+from repro.obs import (
+    MetricsRegistry,
+    active_registries,
+    install_registry,
+    span,
+)
 from repro.runtime import checkpoint
 
 #: How long one future poll blocks before re-checking limits (seconds).
@@ -53,10 +59,22 @@ POLL_SECONDS = 0.1
 _WORKER_RUNNER: ExperimentRunner | None = None
 
 
-def _worker_init(config: ExperimentConfig) -> None:
-    """Per-process initializer: deterministic seeding + shared caches."""
+def _worker_init(
+    config: ExperimentConfig, collect_metrics: bool = False
+) -> None:
+    """Per-process initializer: deterministic seeding + shared caches.
+
+    ``collect_metrics`` makes the worker install a process-global
+    :class:`~repro.obs.MetricsRegistry` so each cell records a metrics
+    delta that travels back in its :class:`RunOutcome`.  Under the
+    ``fork`` start method the worker may already have inherited the
+    parent's active registries, in which case nothing needs installing;
+    the flag covers ``spawn`` platforms where context is lost.
+    """
     global _WORKER_RUNNER
     random.seed(config.seed)
+    if collect_metrics and not active_registries():
+        install_registry(MetricsRegistry())
     _WORKER_RUNNER = ExperimentRunner(config)
 
 
@@ -130,21 +148,24 @@ def run_parallel(
         max_workers=workers,
         mp_context=_mp_context(),
         initializer=_worker_init,
-        initargs=(runner.config,),
+        initargs=(runner.config, bool(active_registries())),
     )
     try:
-        checkpoint("perf.parallel.submit")
-        futures = [(key, pool.submit(_worker_run, key)) for key in pending]
-        for key, future in futures:
-            while True:
-                checkpoint("perf.parallel.collect")
-                try:
-                    outcome = future.result(timeout=POLL_SECONDS)
-                except FutureTimeoutError:
-                    continue
-                break
-            runner.absorb(key, outcome)
-            merged += 1
+        with span("perf.parallel.grid", submitted=len(pending)):
+            checkpoint("perf.parallel.submit")
+            futures = [
+                (key, pool.submit(_worker_run, key)) for key in pending
+            ]
+            for key, future in futures:
+                while True:
+                    checkpoint("perf.parallel.collect")
+                    try:
+                        outcome = future.result(timeout=POLL_SECONDS)
+                    except FutureTimeoutError:
+                        continue
+                    break
+                runner.absorb(key, outcome)
+                merged += 1
     except BaseException:
         # Deadline / cancellation / worker failure: drop stragglers.
         pool.shutdown(wait=False, cancel_futures=True)

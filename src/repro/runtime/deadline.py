@@ -33,13 +33,24 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from types import TracebackType
-from typing import Callable, Iterator
+from typing import Iterator
 
 from repro.errors import DeadlineExceeded, ReproError, RunCancelled
+from repro.obs.tracer import Clock, observe_site
 from repro.runtime.faults import fault_point
 
-#: A monotonic clock: seconds as float, origin arbitrary.
-Clock = Callable[[], float]
+__all__ = [
+    "Budget",
+    "CancelToken",
+    "Clock",
+    "Deadline",
+    "ExecutionLimit",
+    "Timer",
+    "active_limits",
+    "checkpoint",
+    "deadline_scope",
+    "limit_scope",
+]
 
 
 class ExecutionLimit:
@@ -197,14 +208,20 @@ def deadline_scope(
 
 
 def checkpoint(site: str) -> None:
-    """Cooperative yield point: fault injection + limit checks.
+    """Cooperative yield point: trace tally + fault injection + limits.
 
     Called from the hot loops of every registered algorithm, the
     bipartite-graph construction, the dataset loaders and the journal
-    I/O.  With no active :class:`FaultPlan <repro.runtime.faults.FaultPlan>`
-    and no active limits this is two ``ContextVar`` reads — cheap enough
-    for per-outer-iteration use.
+    I/O.  With no active tracer, no active
+    :class:`FaultPlan <repro.runtime.faults.FaultPlan>` and no active
+    limits this is three ``ContextVar`` reads — cheap enough for
+    per-outer-iteration use.
+
+    The trace tally runs first (it never raises), so spans account for
+    a hit even when the same checkpoint then injects a fault or trips a
+    limit — the trace shows *where* a run died.
     """
+    observe_site(site)
     fault_point(site)
     for limit in _LIMITS.get():
         limit.check(site)

@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.measures.base import CostModel
 from repro.measures.registry import get_measure
+from repro.obs import count, span
 from repro.runtime.deadline import Clock, Deadline, Timer, limit_scope
 from repro.tabular.encoding import EncodedTable
 from repro.tabular.table import Table
@@ -172,6 +173,7 @@ def _suppress_all(
         model = CostModel(enc, measure_obj)
         cost = model.table_cost(node_matrix)
         generalized = enc.decode_table(node_matrix)
+    count("runtime.fallback.records_suppressed", n)
     return AnonymizationResult(
         table=table,
         encoded=enc,
@@ -255,9 +257,14 @@ def run_with_fallback(
         else None
     )
 
+    def record(attempt: RungAttempt) -> None:
+        """Append the attempt and tally its outcome for repro.obs."""
+        report.attempts.append(attempt)
+        count(f"runtime.fallback.rung.{attempt.status}")
+
     for rung in chain:
         if overall is not None and overall.expired():
-            report.attempts.append(
+            record(
                 RungAttempt(rung.name, "skipped", "overall deadline spent")
             )
             continue
@@ -269,17 +276,19 @@ def run_with_fallback(
             limits.append(Deadline.after(cap, clock=clock))
         timer = Timer()
         try:
-            with timer, limit_scope(*limits):
+            with timer, limit_scope(*limits), span(
+                "runtime.fallback.rung", rung=rung.name
+            ):
                 result = _run_rung(rung, table, k, measure, enc)
         except DeadlineExceeded as exc:
-            report.attempts.append(
+            record(
                 RungAttempt(
                     rung.name, "deadline", str(exc), seconds=timer.seconds
                 )
             )
             continue
         except Exception as exc:  # a crashing rung must not sink the chain
-            report.attempts.append(
+            record(
                 RungAttempt(
                     rung.name,
                     "error",
@@ -289,7 +298,7 @@ def run_with_fallback(
             )
             continue
         if not result.verify():
-            report.attempts.append(
+            record(
                 RungAttempt(
                     rung.name,
                     "invalid",
@@ -298,9 +307,7 @@ def run_with_fallback(
                 )
             )
             continue
-        report.attempts.append(
-            RungAttempt(rung.name, "ok", seconds=timer.seconds)
-        )
+        record(RungAttempt(rung.name, "ok", seconds=timer.seconds))
         report.winner = rung.name
         outcome.result = result
         break

@@ -24,6 +24,7 @@ from random import Random
 from typing import Callable, TypeVar
 
 from repro.errors import InjectedFault, ReproError
+from repro.obs import count
 
 T = TypeVar("T")
 
@@ -104,10 +105,12 @@ def call_with_retry(
     schedule = active.delays()
     for attempt in range(active.attempts):
         try:
+            count("runtime.retry.attempts")
             return fn()
         except retry_on as exc:
             if attempt >= active.attempts - 1:
                 raise
+            count("runtime.retry.retries")
             delay = schedule[attempt]
             if on_retry is not None:
                 on_retry(attempt, exc, delay)

@@ -24,6 +24,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import SchemaError
+from repro.obs import count
 from repro.tabular.hierarchy import SubsetCollection
 from repro.tabular.record import GeneralizedRecord
 from repro.tabular.table import GeneralizedTable, Table
@@ -227,14 +228,22 @@ class EncodedTable:
             raise SchemaError("closure of an empty record set is undefined")
         cache = self._closure_cache
         nodes = np.empty(self.num_attributes, dtype=np.int32)
+        hits = misses = 0
         for j, att in enumerate(self.attrs):
             values = np.unique(self.codes[idx, j])
             key = (j, values.tobytes())
             node = cache.get(key)
             if node is None:
+                misses += 1
                 node = att.collection.closure_of_value_indices(values.tolist())
                 cache[key] = node
+            else:
+                hits += 1
             nodes[j] = node
+        if hits:
+            count("tabular.closure.memo_hits", hits)
+        if misses:
+            count("tabular.closure.memo_misses", misses)
         return nodes
 
     def leave_one_out_closures(self, indices: Sequence[int]) -> np.ndarray:

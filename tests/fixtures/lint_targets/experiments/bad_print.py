@@ -1,0 +1,15 @@
+"""Fixture: bare print() in library code (REP009)."""
+
+
+def run_grid(cells: list[str]) -> int:
+    done = 0
+    for cell in cells:
+        print("running", cell)  # REP009: invisible to the journal
+        done += 1
+    print(f"finished {done} cells")  # REP009
+    return done
+
+
+def render(lines: list[str]) -> str:
+    # Building a string is fine — only *printing* it here is not.
+    return "\n".join(lines)

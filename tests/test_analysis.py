@@ -46,7 +46,7 @@ def test_every_rule_fires_on_the_fixture(fixture_report):
     fired = {f.rule for f in fixture_report.findings}
     assert fired == {
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "REP007", "REP008", "LAY001",
+        "REP007", "REP008", "REP009", "LAY001",
     }
 
 
@@ -68,6 +68,9 @@ def test_fixture_findings_point_at_the_right_files(fixture_report):
     assert [f.path for f in by_rule["REP008"]] == [
         "experiments/bad_timer.py"
     ] * 3
+    assert [f.path for f in by_rule["REP009"]] == [
+        "experiments/bad_print.py"
+    ] * 2
     assert [f.path for f in by_rule["LAY001"]] == ["tabular/bad_layer.py"]
 
 
@@ -89,6 +92,10 @@ def test_fixture_line_numbers(fixture_report):
         f.line for f in fixture_report.findings if f.rule == "REP008"
     )
     assert timer_lines == [8, 9, 10]
+    print_lines = sorted(
+        f.line for f in fixture_report.findings if f.rule == "REP009"
+    )
+    assert print_lines == [7, 9]
 
 
 def test_suppressed_violation_is_counted_not_reported(fixture_report):
@@ -326,7 +333,7 @@ def test_shipped_tree_lints_clean_against_committed_baseline():
 def test_rule_ids_catalogue():
     assert rule_ids() == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "REP007", "REP008",
+        "REP007", "REP008", "REP009",
     ]
 
 
@@ -343,6 +350,36 @@ def test_rep008_allows_timing_layers(tmp_path):
         )
     report = lint_tree(pkg, select=["REP008"])
     assert [f.path for f in report.findings] == ["experiments/m.py"]
+
+
+def test_rep009_allows_presentation_layers(tmp_path):
+    # Printing is the job of cli/report/tools/__main__; everywhere else
+    # a bare print() is invisible-to-the-journal debug output.
+    pkg = tmp_path / "p"
+    pkg.mkdir()
+    for name in ("cli", "report", "__main__", "core/algo"):
+        target = pkg / f"{name}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text('def f() -> None:\n    print("hi")\n')
+    (pkg / "tools").mkdir()
+    (pkg / "tools" / "gen.py").write_text('print("generated")\n')
+    report = lint_tree(pkg, select=["REP009"])
+    assert [f.path for f in report.findings] == ["core/algo.py"]
+
+
+def test_rep009_ignores_shadowed_and_method_prints(tmp_path):
+    # Only the builtin name counts: a method called print, or printing
+    # through an attribute, is not the debug-print smell.
+    pkg = tmp_path / "p"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "core" / "m.py").write_text(
+        "class Sink:\n"
+        "    def print(self) -> None: ...\n"
+        "def f(s: Sink) -> None:\n"
+        "    s.print()\n"
+    )
+    report = lint_tree(pkg, select=["REP009"])
+    assert report.findings == []
 
 
 # --------------------------------------------------------------------- #

@@ -42,7 +42,14 @@ from repro.perf import (
     run_bench,
     run_parallel,
 )
-from repro.perf.bench import BENCH_SCHEMA, BenchCase, BenchReport
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
+    BenchCase,
+    BenchReport,
+    default_report_path,
+    default_stamp,
+)
 from repro.perf.compare import (
     MIN_PAIR_SPEEDUPS,
     has_regressions,
@@ -143,6 +150,62 @@ class TestBench:
                 cases=[BenchCase("noop", "algorithm", 1, _tick(sink))],
                 repeat=0,
             )
+
+    def test_default_stamp_is_a_pure_function_of_the_clock(self):
+        assert default_stamp(lambda: 0.0) == "1970-01-01T000000Z"
+        assert default_stamp(lambda: 86400.0 + 3661.0) == "1970-01-02T010101Z"
+
+    def test_default_report_path_uses_the_injected_clock(self, tmp_path):
+        path = default_report_path(tmp_path, lambda: 0.0)
+        assert path == tmp_path / "BENCH_1970-01-01T000000Z.json"
+
+    def test_run_bench_stamps_via_the_injected_clock(self):
+        sink: list[float] = []
+        report = run_bench(
+            cases=[BenchCase("noop", "algorithm", 1, _tick(sink))],
+            repeat=1,
+            clock=lambda: 0.0,
+        )
+        assert report.stamp == "1970-01-01T000000Z"
+
+    def test_v1_schema_reports_still_load(self):
+        payload = _report(cases=[_case_entry("noop", 0.5)]).to_json()
+        payload["schema"] = BENCH_SCHEMA_V1
+        assert "metrics" not in payload  # v1 never wrote one
+        loaded = report_from_json(payload)
+        assert loaded.metrics is None
+        assert loaded.case("noop")["median"] == 0.5
+
+    def test_metrics_off_by_default_and_absent_from_json(self):
+        sink: list[float] = []
+        report = run_bench(
+            cases=[BenchCase("noop", "algorithm", 1, _tick(sink))],
+            repeat=1,
+        )
+        assert report.metrics is None
+        assert "metrics" not in report.to_json()
+
+    def test_collect_metrics_embeds_suite_snapshot_and_round_trips(
+        self, tmp_path
+    ):
+        from repro.obs import count
+
+        def case_setup():
+            return lambda: count("perf.test.work", 3)
+
+        report = run_bench(
+            cases=[BenchCase("counted", "algorithm", 1, case_setup)],
+            repeat=2,
+            collect_metrics=True,
+            stamp="2026-01-01T000000Z",
+        )
+        assert report.metrics is not None
+        # warmup + 2 timed repeats, 3 units each
+        assert report.metrics["counters"]["perf.test.work"] == 9
+        path = tmp_path / "BENCH_metrics.json"
+        report.write(path)
+        loaded = load_report(path)
+        assert loaded.metrics == report.metrics
 
     def test_default_case_set_covers_algorithms_and_pairs(self):
         cases = default_cases(quick=True)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import inspect
+import typing
 from pathlib import Path
 
 PACKAGES = [
@@ -25,6 +26,7 @@ PACKAGES = [
     ("repro.privacy", "Privacy: adversaries, audits, bundles"),
     ("repro.extensions", "Extensions (§VII)"),
     ("repro.utility", "Workload utility"),
+    ("repro.obs", "Observability: tracing, metrics, profiling"),
     ("repro.runtime", "Execution resilience runtime"),
     ("repro.experiments", "Experiment harness"),
     ("repro.verify", "Verification & fuzzing harness"),
@@ -48,7 +50,14 @@ def _signature(obj) -> str:
 
 def _render_entry(name: str, obj) -> list[str]:
     lines = []
-    if inspect.isclass(obj):
+    if typing.get_origin(obj) is not None:
+        # Typing aliases (e.g. ``Clock = Callable[[], float]``) are
+        # callable but carry the generic machinery's docstring, not ours.
+        lines.append(f"#### `{name}` — type alias")
+        lines.append("")
+        lines.append(f"`{obj!r}`")
+        lines.append("")
+    elif inspect.isclass(obj):
         lines.append(f"#### class `{name}`")
         lines.append("")
         lines.append(_first_paragraph(inspect.getdoc(obj)))

@@ -27,17 +27,37 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard for typing only
+    from repro.analysis.callgraph import CallGraph
 
 from repro.analysis.findings import Finding
 from repro.analysis.layers import DEFAULT_LAYERS, LAYER_RULE_DOCS, LayerChecker
-from repro.analysis.rules import ALL_RULES, RULE_DOCS, ModuleContext, Rule
+from repro.analysis.rules import ALL_RULES as BASE_RULES
+from repro.analysis.rules import RULE_DOCS as BASE_RULE_DOCS
+from repro.analysis.rules import ModuleContext, Rule
+from repro.analysis.semantic import SEMANTIC_RULE_DOCS, SEMANTIC_RULES
 from repro.errors import ReproError
 
 #: ``# repro: allow[REP001,REP004] why this is fine``
 _SUPPRESS_RE = re.compile(
     r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(.*?)\s*$"
 )
+
+#: The full rule set behind ``repro-anon lint``: the token/pattern
+#: rules (REP001–REP009) plus the CFG/call-graph semantic rules
+#: (REP010–REP013).
+ALL_RULES: tuple[Rule, ...] = (*BASE_RULES, *SEMANTIC_RULES)
+
+#: rule id -> one-line summary across both catalogues.
+RULE_DOCS: dict[str, str] = {**BASE_RULE_DOCS, **SEMANTIC_RULE_DOCS}
+
+
+def rule_ids() -> list[str]:
+    """All module/project rule ids (token + semantic), sorted."""
+    return sorted(RULE_DOCS)
+
 
 #: Every rule id the engine can emit (module + project + layering).
 KNOWN_RULE_IDS: tuple[str, ...] = tuple(
@@ -135,6 +155,27 @@ class Baseline:
         ]
         return new, baselined, stale
 
+    def prune(self, stale: Sequence[Mapping[str, str]]) -> int:
+        """Drop ``stale`` entries and rewrite the baseline file.
+
+        Returns the number of entries removed.  The escape hatch behind
+        ``repro-anon lint --prune-baseline``: stale entries are
+        otherwise a hard error (see :attr:`LintReport.ok`).
+        """
+        keys = {(e["rule"], e["path"], e["message"]) for e in stale}
+        kept = [
+            entry
+            for entry in self.entries
+            if (entry["rule"], entry["path"], entry["message"]) not in keys
+        ]
+        removed = len(self.entries) - len(kept)
+        self.entries = kept
+        if self.path is not None and removed:
+            self.path.write_text(
+                json.dumps({"version": 1, "entries": kept}, indent=2) + "\n"
+            )
+        return removed
+
 
 @dataclass
 class LintReport:
@@ -149,8 +190,14 @@ class LintReport:
 
     @property
     def ok(self) -> bool:
-        """True when nothing gates: no live findings remain."""
-        return not self.findings
+        """True when nothing gates: no live findings, no stale baseline.
+
+        A stale baseline entry is a hard error: the finding it tolerated
+        is gone, so keeping the entry would silently tolerate a *future*
+        regression with the same fingerprint.  ``repro-anon lint
+        --prune-baseline`` removes stale entries instead of failing.
+        """
+        return not self.findings and not self.stale_baseline
 
     def format_text(self) -> str:
         """Human-readable report, one line per finding."""
@@ -159,9 +206,9 @@ class LintReport:
             lines.append(finding.format())
         for entry in self.stale_baseline:
             lines.append(
-                f"warning: stale baseline entry {entry['rule']} "
+                f"error: stale baseline entry {entry['rule']} "
                 f"{entry['path']}: {entry['message']!r} no longer matches "
-                "anything — remove it from the baseline"
+                "anything — remove it, or rerun with --prune-baseline"
             )
         lines.append(
             f"{self.root}: {len(self.findings)} finding(s), "
@@ -169,6 +216,30 @@ class LintReport:
             f"{len(self.suppressed)} suppressed, "
             f"{self.files_scanned} file(s) scanned"
         )
+        return "\n".join(lines)
+
+    def format_github(self) -> str:
+        """GitHub Actions ``::error`` annotations, one per finding.
+
+        Paths are prefixed with the scan root so annotations anchor to
+        repository-relative files in CI.
+        """
+        base = self.root if self.root.is_dir() else self.root.parent
+        lines: list[str] = []
+        for finding in self.findings:
+            path = (base / finding.path).as_posix()
+            lines.append(
+                f"::error file={path},line={finding.line},"
+                f"col={finding.col + 1},title={finding.rule}"
+                f"::{finding.message}"
+            )
+        for entry in self.stale_baseline:
+            lines.append(
+                f"::error title=stale baseline ({entry['rule']})"
+                f"::baseline entry for {entry['path']} "
+                f"({entry['message']!r}) no longer matches anything; "
+                "remove it or rerun with --prune-baseline"
+            )
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, object]:
@@ -275,6 +346,16 @@ def lint_tree(
     """
     root = Path(root)
     chosen = _validate_select(select) if select is not None else None
+    if chosen is not None and not _active_rules(chosen, check_layers):
+        detail = (
+            "the selected layer rules are disabled by --no-layers"
+            if chosen
+            else "--select names no rules"
+        )
+        raise ReproError(
+            f"no runnable rules selected ({detail}); known rules: "
+            f"{list(KNOWN_RULE_IDS)}"
+        )
     files = _discover(root)
     modules, raw_findings = _parse_modules(root, files)
 
@@ -321,6 +402,24 @@ def lint_tree(
         baselined=baselined,
         stale_baseline=stale,
     )
+
+
+def build_tree_callgraph(root: str | Path) -> "CallGraph":
+    """Parse one package tree and build its call graph.
+
+    The function behind ``repro-anon lint --callgraph``: same discovery
+    and parsing as the linter, producing the deterministic artifact
+    (see :meth:`repro.analysis.callgraph.CallGraph.to_json_text`).
+    """
+    from repro.analysis.callgraph import build_callgraph
+
+    root = Path(root)
+    if not root.is_dir():
+        raise ReproError(
+            f"--callgraph needs a package directory to scan, got {root}"
+        )
+    modules, _errors = _parse_modules(root, _discover(root))
+    return build_callgraph(modules, root.name)
 
 
 def run_lint(

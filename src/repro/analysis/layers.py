@@ -83,6 +83,25 @@ _EXEMPT_SEGMENTS = frozenset({"__init__"})
 _FACADE = "__init__"
 
 
+def resolve_layer(
+    dotted: str, layers: Mapping[str, int] = DEFAULT_LAYERS
+) -> tuple[str, int] | None:
+    """Longest dotted prefix of ``dotted`` present in the layer map.
+
+    The same resolution :class:`LayerChecker` applies to imports, as a
+    standalone helper so the call-graph exporter can annotate nodes
+    (``runtime.fallback.FallbackChain.run`` -> ``("runtime.fallback", 5)``).
+    Returns ``None`` when no prefix is mapped.
+    """
+    parts = dotted.split(".")
+    while parts:
+        key = ".".join(parts)
+        if key in layers:
+            return key, layers[key]
+        parts.pop()
+    return None
+
+
 class LayerChecker:
     """Check every intra-package import in a parsed tree against the DAG.
 
@@ -131,13 +150,7 @@ class LayerChecker:
 
     def _resolve(self, dotted: str) -> tuple[str, int] | None:
         """Longest dotted prefix of ``dotted`` present in the layer map."""
-        parts = dotted.split(".")
-        while parts:
-            key = ".".join(parts)
-            if key in self.layers:
-                return key, self.layers[key]
-            parts.pop()
-        return None
+        return resolve_layer(dotted, self.layers)
 
     def _check_module(
         self, ctx: ModuleContext, source_key: str, source_layer: int

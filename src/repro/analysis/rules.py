@@ -50,6 +50,11 @@ class Rule:
     rule_id: str = "REP000"
     summary: str = ""
 
+    def __repr__(self) -> str:
+        # Address-free so rendered rule catalogues (docs/api.md) are
+        # deterministic across processes.
+        return f"<{type(self).__name__} {self.rule_id}>"
+
     def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         """Yield findings for one file (default: none)."""
         return iter(())

@@ -322,8 +322,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format",
         dest="output_format",
         default="text",
-        choices=["text", "json"],
-        help="report format (default text)",
+        choices=["text", "json", "github"],
+        help="report format (default text; 'github' emits CI "
+        "::error annotations)",
     )
     lint_cmd.add_argument(
         "--baseline",
@@ -338,6 +339,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-layers",
         action="store_true",
         help="skip the import-layering DAG check",
+    )
+    lint_cmd.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="remove stale baseline entries instead of failing on them",
+    )
+    lint_cmd.add_argument(
+        "--callgraph",
+        metavar="PATH",
+        help="also write the scanned tree's call graph (entry points, "
+        "reachability) as deterministic JSON to PATH",
     )
     return parser
 
@@ -461,7 +473,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.analysis import run_lint
+    from repro.analysis import Baseline, build_tree_callgraph, run_lint
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
@@ -472,8 +484,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if baseline is None and Path("lint-baseline.json").is_file():
         baseline = "lint-baseline.json"
     select = (
+        # An explicit-but-empty --select is an error (caught by the
+        # engine), not a silent run-everything.
         [part.strip() for part in args.select.split(",") if part.strip()]
-        if args.select
+        if args.select is not None
         else None
     )
     reports = run_lint(
@@ -482,6 +496,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline_path=baseline,
         check_layers=not args.no_layers,
     )
+    if args.prune_baseline:
+        if baseline is None:
+            raise ReproError(
+                "--prune-baseline requires a baseline (give --baseline or "
+                "commit lint-baseline.json)"
+            )
+        stale = reports[-1].stale_baseline
+        if stale:
+            removed = Baseline.load(baseline).prune(stale)
+            print(
+                f"pruned {removed} stale "
+                f"entr{'y' if removed == 1 else 'ies'} from {baseline}",
+                file=sys.stderr,
+            )
+            for report in reports:
+                report.stale_baseline = []
+    if args.callgraph:
+        root = next((p for p in paths if p.is_dir()), None)
+        if root is None:
+            raise ReproError(
+                "--callgraph needs a package directory among the scanned "
+                "paths"
+            )
+        graph = build_tree_callgraph(root)
+        Path(args.callgraph).write_text(graph.to_json_text())
+        print(f"call graph written to {args.callgraph}", file=sys.stderr)
     if args.output_format == "json":
         payload: object = (
             reports[0].to_json()
@@ -489,6 +529,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             else [r.to_json() for r in reports]
         )
         print(json.dumps(payload, indent=2))
+    elif args.output_format == "github":
+        for report in reports:
+            annotations = report.format_github()
+            if annotations:
+                print(annotations)
     else:
         for report in reports:
             print(report.format_text())

@@ -74,6 +74,7 @@ class _Engine:
         n = enc.num_records
         cost_union = np.zeros((n, n), dtype=np.float64)
         col = self.nodes
+        # repro: allow[REP011] one-time O(u^2) matrix fill, straight after the core.agglomerative.init checkpoint
         for j, att in enumerate(enc.attrs):
             joined = att.join[col[:, None, j], col[None, :, j]]
             cost_union += model.node_costs[j][joined]
@@ -166,6 +167,7 @@ class _Engine:
         when it is about to win the global argmin — the classic lazy
         scheme that keeps the engine at the paper's O(n²).
         """
+        # repro: allow[REP011] lazy-deletion heap pops between core.agglomerative.merge checkpoints, bounded by heap size
         while True:
             self.stat_scanned += 1
             x = int(np.argmin(self.row_min))
@@ -210,6 +212,7 @@ class _Engine:
         enc, model = self.enc, self.model
         kept = list(member_list)
         expelled: list[int] = []
+        # repro: allow[REP011] expels one record per round, bounded by cluster size; one call per merge checkpoint
         while len(kept) > self.k:
             size = len(kept)
             self.stat_shrink_candidates += size
@@ -235,6 +238,7 @@ class _Engine:
         enc, model, distance = self.enc, self.model, self.distance
         kept = list(member_list)
         expelled: list[int] = []
+        # repro: allow[REP011] scan-mode shrink, bounded by cluster size; one call per merge checkpoint
         while len(kept) > self.k:
             size = len(kept)
             self.stat_shrink_candidates += size
@@ -344,6 +348,7 @@ class _Engine:
         )
         out_sizes = np.array([len(c) for c in self.output], dtype=np.int64)
         out_costs = np.asarray(model.record_cost(out_nodes), dtype=np.float64)
+        # repro: allow[REP011] single post-merge pass distributing the < k leftover records
         for record in leftover:
             single = enc.singleton_nodes[record]
             union = enc.join_rows(out_nodes, single)

@@ -110,6 +110,7 @@ def clustering_to_nodes(enc: EncodedTable, clustering: Clustering) -> np.ndarray
             f"{enc.num_records}"
         )
     node_matrix = np.empty((enc.num_records, enc.num_attributes), dtype=np.int32)
+    # repro: allow[REP011] single O(n) encode pass per finished clustering
     for cluster in clustering.clusters:
         closure = enc.closure_of_records(cluster)
         node_matrix[list(cluster)] = closure

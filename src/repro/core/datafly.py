@@ -35,6 +35,7 @@ from repro.tabular.encoding import EncodedTable
 def _parent_table(enc: EncodedTable) -> list[np.ndarray]:
     """Per attribute, the parent node of every node (root maps to itself)."""
     parents = []
+    # repro: allow[REP011] one pass per hierarchy level while building the parent table
     for att in enc.attrs:
         coll = att.collection
         if not coll.is_laminar:

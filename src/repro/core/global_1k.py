@@ -86,6 +86,7 @@ def global_one_k_anonymize(
             f"node matrix has shape {nodes.shape}, expected "
             f"{(n, enc.num_attributes)}"
         )
+    # repro: allow[REP011] O(n) precondition validation before the checkpointed conversion passes
     for i in range(n):
         if not bool(enc.consistency_mask(i, nodes[i])):
             raise AnonymityError(

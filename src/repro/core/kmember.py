@@ -92,6 +92,7 @@ def kmember_clustering(model: CostModel, k: int) -> Clustering:
         closure_costs = np.asarray(
             model.record_cost(closure_nodes), dtype=np.float64
         )
+        # repro: allow[REP011] distributes the < k leftover records after the checkpointed clustering loop
         for record in leftover:
             union = enc.join_rows(closure_nodes, singletons[record])
             costs = np.asarray(model.record_cost(union), dtype=np.float64)

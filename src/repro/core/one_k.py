@@ -72,6 +72,7 @@ def one_k_anonymize(
 
     # Precondition of the algorithm ("It is assumed that for all i,
     # R̄_i is a generalization of R_i").
+    # repro: allow[REP011] O(n) precondition validation before the checkpointed main loop
     for i in range(n):
         if not bool(enc.consistency_mask(i, nodes[i])):
             raise AnonymityError(

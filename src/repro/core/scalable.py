@@ -43,6 +43,7 @@ def _partition_blocks(
     floor = max(k, block_size // 4)
     blocks: list[np.ndarray] = []
     queue: list[np.ndarray] = [np.arange(enc.num_records, dtype=np.int64)]
+    # repro: allow[REP011] emits blocks of >= block_size//4 records, at most 4n/block_size rounds; each block hits core.scalable.block
     while queue:
         members = queue.pop()
         if len(members) <= block_size:
@@ -145,6 +146,7 @@ def _encode_subset(parent: EncodedTable, members: np.ndarray) -> EncodedTable:
     sub.unique_inverse = inverse.astype(np.int64)
     sub.unique_counts = counts.astype(np.int64)
     sub.unique_singleton_nodes = np.empty_like(sub.unique_codes)
+    # repro: allow[REP011] iterates schema attributes while building one block's sub-table
     for j, att in enumerate(sub.attrs):
         sub.unique_singleton_nodes[:, j] = att.singleton[sub.unique_codes[:, j]]
     # Keep the FULL table's distribution: eq. (3) conditions on the whole

@@ -58,6 +58,7 @@ def allowed_edges(
 
     # Vertices 0..num_left-1 are left; num_left..num_left+num_right-1 right.
     directed: list[list[int]] = [[] for _ in range(num_left + num_right)]
+    # repro: allow[REP011] single pass over one oracle instance's vertex set
     for u in range(num_left):
         mu = match_left[u]
         for v in adj[u]:
@@ -68,6 +69,7 @@ def allowed_edges(
     comp = strongly_connected_components(directed)
 
     allowed: list[set[int]] = []
+    # repro: allow[REP011] single pass over one oracle instance's vertex set
     for u in range(num_left):
         mine = {match_left[u]}
         for v in adj[u]:

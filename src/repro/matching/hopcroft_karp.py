@@ -49,6 +49,7 @@ def hopcroft_karp(
     def bfs() -> bool:
         """Layer free left vertices; return True if an augmenting path exists."""
         queue: deque[int] = deque()
+        # repro: allow[REP011] BFS layer construction, one pass per Hopcroft-Karp phase
         for u in range(num_left):
             if match_left[u] == UNMATCHED:
                 dist[u] = 0.0
@@ -56,6 +57,7 @@ def hopcroft_karp(
             else:
                 dist[u] = _INF
         found = False
+        # repro: allow[REP011] BFS queue drain, bounded by the per-row oracle instance
         while queue:
             u = queue.popleft()
             for v in adj[u]:
@@ -76,6 +78,7 @@ def hopcroft_karp(
         nonlocal path_steps
         stack: list[tuple[int, int]] = [(root, 0)]
         path: list[tuple[int, int]] = []  # (left vertex, right vertex) pairs
+        # repro: allow[REP011] DFS augmenting-path walk, bounded by the per-row oracle instance
         while stack:
             path_steps += 1
             u, i = stack[-1]
@@ -106,6 +109,7 @@ def hopcroft_karp(
     phases = 0
     path_steps = 0
     size = 0
+    # repro: allow[REP011] O(sqrt(V)) Hopcroft-Karp phases on a per-row oracle instance
     while bfs():
         phases += 1
         for u in range(num_left):

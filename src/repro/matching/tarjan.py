@@ -38,6 +38,7 @@ def strongly_connected_components(adj: Sequence[Sequence[int]]) -> list[int]:
     next_index = 0
     next_comp = 0
 
+    # repro: allow[REP011] iterative Tarjan, one pass over a bounded oracle instance
     for root in range(n):
         if index[root] != -1:
             continue

@@ -255,6 +255,7 @@ def install_registry(registry: MetricsRegistry) -> None:
     scope the registry); the stack entry lives until the process exits.
     """
     if registry.enabled:
+        # repro: allow[REP013] deliberate worker-lifetime installation; the registry must outlive this call and dies with the process
         _REGISTRIES.set(_REGISTRIES.get() + (registry,))
 
 

@@ -75,6 +75,7 @@ def _worker_init(
     random.seed(config.seed)
     if collect_metrics and not active_registries():
         install_registry(MetricsRegistry())
+    # repro: allow[REP010] per-process worker state by design: the pool initializer installs one runner per worker and only that worker reads it
     _WORKER_RUNNER = ExperimentRunner(config)
 
 

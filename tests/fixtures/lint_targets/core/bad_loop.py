@@ -1,0 +1,30 @@
+"""REP011 fixture: algorithm-reachable loops that skip checkpoint()."""
+
+from __future__ import annotations
+
+from repro.runtime import checkpoint
+
+
+def bad_loop_clustering(records: list[int], k: int) -> list[list[int]]:
+    ordered = _metered(records)
+    clusters: list[list[int]] = []
+    remaining = ordered
+    while remaining:  # REP011: no checkpoint on the cyclic path
+        clusters.append(remaining[:k])
+        remaining = remaining[k:]
+    return _polish(clusters)
+
+
+def _polish(clusters: list[list[int]]) -> list[list[int]]:
+    polished: list[list[int]] = []
+    for cluster in clusters:  # REP011: reachable helper, also uncovered
+        polished.append(sorted(cluster))
+    return polished
+
+
+def _metered(records: list[int]) -> list[int]:
+    out: list[int] = []
+    for record in records:  # covered: checkpoints every iteration
+        checkpoint()
+        out.append(record)
+    return out

@@ -1,0 +1,19 @@
+"""REP012 fixture: raw file writes bypassing the journal."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def dump_grid(path: str, rows: list[str]) -> None:
+    with open(path, "w") as handle:  # REP012: torn on crash
+        handle.write("\n".join(rows))
+
+
+def dump_summary(target: Path, text: str) -> None:
+    target.write_text(text)  # REP012: not atomic
+
+
+def load_grid(path: str) -> list[str]:
+    with open(path) as handle:  # a read is never flagged
+        return handle.read().splitlines()

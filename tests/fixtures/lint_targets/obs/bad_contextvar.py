@@ -1,0 +1,26 @@
+"""REP013 fixture: ContextVar set without the reset-token discipline."""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+
+_ACTIVE: ContextVar[str | None] = ContextVar("active", default=None)
+
+
+def install(name: str) -> None:
+    _ACTIVE.set(name)  # REP013: token discarded outright
+
+
+def enter(name: str) -> str:
+    token = _ACTIVE.set(name)  # REP013: reset exists, but not in a finally
+    value = _ACTIVE.get() or ""
+    _ACTIVE.reset(token)
+    return value
+
+
+def scoped(name: str) -> str:
+    token = _ACTIVE.set(name)  # disciplined: reset in finally — not flagged
+    try:
+        return _ACTIVE.get() or ""
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,28 @@
+"""REP010 fixture: ProcessPool workers writing module-level state."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+_MODEL = None
+_RESULTS: dict[str, int] = {}
+
+
+def _worker_init(path: str) -> None:
+    global _MODEL
+    _MODEL = path  # REP010: global rebind in a worker initializer
+
+
+def _record(key: str, value: int) -> None:
+    _RESULTS[key] = value  # REP010: subscript write to module state
+
+
+def _worker_run(key: str) -> int:
+    _record(key, len(key))
+    return len(key)
+
+
+def run_pool(keys: list[str]) -> list[int]:
+    with ProcessPoolExecutor(initializer=_worker_init) as pool:
+        futures = [pool.submit(_worker_run, key) for key in keys]
+    return [f.result() for f in futures]

@@ -1,5 +1,16 @@
-"""Fixture registry: deliberately does NOT reference fake_clustering."""
+"""Fixture registry: covers bad_loop_clustering, NOT fake_clustering."""
 
 from __future__ import annotations
 
-REGISTRY: tuple[str, ...] = ("something_else",)
+from lint_targets.core.bad_loop import bad_loop_clustering
+
+
+class AlgorithmSpec:
+    def __init__(self, label: str, fn: object) -> None:
+        self.label = label
+        self.fn = fn
+
+
+REGISTRY: tuple[AlgorithmSpec, ...] = (
+    AlgorithmSpec("bad_loop", bad_loop_clustering),
+)

@@ -46,7 +46,8 @@ def test_every_rule_fires_on_the_fixture(fixture_report):
     fired = {f.rule for f in fixture_report.findings}
     assert fired == {
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "REP007", "REP008", "REP009", "LAY001",
+        "REP007", "REP008", "REP009", "REP010", "REP011", "REP012",
+        "REP013", "LAY001",
     }
 
 
@@ -70,6 +71,14 @@ def test_fixture_findings_point_at_the_right_files(fixture_report):
     ] * 3
     assert [f.path for f in by_rule["REP009"]] == [
         "experiments/bad_print.py"
+    ] * 2
+    assert [f.path for f in by_rule["REP010"]] == ["perf/bad_worker.py"] * 2
+    assert [f.path for f in by_rule["REP011"]] == ["core/bad_loop.py"] * 2
+    assert [f.path for f in by_rule["REP012"]] == [
+        "experiments/bad_write.py"
+    ] * 2
+    assert [f.path for f in by_rule["REP013"]] == [
+        "obs/bad_contextvar.py"
     ] * 2
     assert [f.path for f in by_rule["LAY001"]] == ["tabular/bad_layer.py"]
 
@@ -96,6 +105,32 @@ def test_fixture_line_numbers(fixture_report):
         f.line for f in fixture_report.findings if f.rule == "REP009"
     )
     assert print_lines == [7, 9]
+    worker_lines = sorted(
+        f.line for f in fixture_report.findings if f.rule == "REP010"
+    )
+    assert worker_lines == [13, 17]
+    loop_lines = sorted(
+        f.line for f in fixture_report.findings if f.rule == "REP011"
+    )
+    assert loop_lines == [12, 20]
+    write_lines = sorted(
+        f.line for f in fixture_report.findings if f.rule == "REP012"
+    )
+    assert write_lines == [9, 14]
+    ctxvar_lines = sorted(
+        f.line for f in fixture_report.findings if f.rule == "REP013"
+    )
+    assert ctxvar_lines == [11, 15]
+
+
+def test_semantic_negatives_stay_quiet(fixture_report):
+    # The disciplined shapes sit in the same fixture files as the
+    # violations and must not be flagged: the checkpoint-every-iteration
+    # loop, the set-with-reset-in-finally scope, the read-only open().
+    flagged = {(f.path, f.line) for f in fixture_report.findings}
+    assert ("core/bad_loop.py", 27) not in flagged
+    assert ("obs/bad_contextvar.py", 22) not in flagged
+    assert ("experiments/bad_write.py", 18) not in flagged
 
 
 def test_suppressed_violation_is_counted_not_reported(fixture_report):
@@ -137,6 +172,21 @@ def test_select_filters_rules():
 def test_select_rejects_unknown_rule_ids():
     with pytest.raises(ReproError, match="unknown rule"):
         lint_tree(FIXTURES, select=["REP999"])
+
+
+def test_select_error_lists_the_valid_codes():
+    with pytest.raises(ReproError, match="REP013"):
+        lint_tree(FIXTURES, select=["REP999"])
+
+
+def test_empty_select_is_an_error():
+    with pytest.raises(ReproError, match="no runnable rules"):
+        lint_tree(FIXTURES, select=[])
+
+
+def test_select_of_only_disabled_layer_rules_is_an_error():
+    with pytest.raises(ReproError, match="no runnable rules"):
+        lint_tree(FIXTURES, select=["LAY001"], check_layers=False)
 
 
 def test_suppression_requires_a_reason(tmp_path):
@@ -217,6 +267,34 @@ def test_stale_baseline_entries_are_surfaced(tmp_path):
     assert len(report.stale_baseline) == 1
     assert report.stale_baseline[0]["path"] == "core/gone.py"
     assert "stale baseline" in report.format_text()
+    # A stale entry is a hard error: the report is not ok, and the text
+    # names the escape hatch.
+    assert not report.ok
+    assert "--prune-baseline" in report.format_text()
+
+
+def test_baseline_prune_rewrites_the_file(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    keep = {
+        "rule": "REP001", "path": "core/kept.py",
+        "message": "still real", "reason": "tracked",
+    }
+    gone = {
+        "rule": "REP004", "path": "core/gone.py",
+        "message": "no longer exists", "reason": "was fixed",
+    }
+    baseline_file.write_text(
+        json.dumps({"version": 1, "entries": [keep, gone]})
+    )
+    baseline = Baseline.load(baseline_file)
+    removed = baseline.prune([gone])
+    assert removed == 1
+    rewritten = json.loads(baseline_file.read_text())
+    assert rewritten["entries"] == [keep]
+    # Pruning nothing leaves the file untouched.
+    before = baseline_file.read_text()
+    assert Baseline.load(baseline_file).prune([]) == 0
+    assert baseline_file.read_text() == before
 
 
 def test_stale_ignores_entries_for_unselected_rules(tmp_path):
@@ -309,6 +387,66 @@ def test_unmapped_segment_is_lay002(tmp_path):
     assert [f.rule for f in report.findings] == ["LAY002"]
 
 
+def test_resolve_layer_longest_dotted_prefix():
+    from repro.analysis import resolve_layer
+
+    assert resolve_layer("runtime.fallback.chain") == ("runtime.fallback", 5)
+    assert resolve_layer("runtime.deadline") == ("runtime", 2)
+    assert resolve_layer("obs.summarize.render") == ("obs.summarize", 3)
+    assert resolve_layer("mystery") is None
+
+
+def test_carved_out_sublayer_is_judged_not_its_parent(tmp_path):
+    # core (4) may import runtime (2), but runtime.fallback is carved
+    # out at layer 5: `from p.runtime import fallback` names the deeper
+    # dotted key and is a back-edge — the cycle the carve-out prevents.
+    pkg = tmp_path / "p"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "core" / "fine.py").write_text(
+        "from p.runtime import checkpoint\n"
+    )
+    (pkg / "core" / "cycle.py").write_text(
+        "from p.runtime import fallback\n"
+    )
+    report = lint_tree(pkg, select=["LAY001"])
+    assert [f.path for f in report.findings] == ["core/cycle.py"]
+    assert "runtime.fallback" in report.findings[0].message
+
+
+def test_sublayer_module_resolves_to_its_dotted_key(tmp_path):
+    # A module *inside* the carved-out subpackage sits at the sublayer,
+    # so runtime.fallback importing experiments (6) is still a
+    # back-edge even though plain runtime is layer 2.
+    pkg = tmp_path / "p"
+    (pkg / "runtime" / "fallback").mkdir(parents=True)
+    (pkg / "runtime" / "fallback" / "chain.py").write_text(
+        "from p.experiments import runner\n"
+    )
+    report = lint_tree(pkg, select=["LAY001"])
+    assert [f.rule for f in report.findings] == ["LAY001"]
+    assert "'runtime.fallback' (layer 5)" in report.findings[0].message
+
+
+def test_import_of_unmapped_segment_is_lay002(tmp_path):
+    pkg = tmp_path / "p"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "core" / "a.py").write_text("from p.mystery import thing\n")
+    report = lint_tree(pkg, select=["LAY002"])
+    assert [f.rule for f in report.findings] == ["LAY002"]
+    assert "mystery" in report.findings[0].message
+
+
+def test_importing_the_package_facade_is_a_back_edge(tmp_path):
+    # `from p import x` inside a submodule pulls in the facade, which
+    # re-exports the highest layers; only the facade itself may do that.
+    pkg = tmp_path / "p"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "core" / "a.py").write_text("from p import anything\n")
+    report = lint_tree(pkg, select=["LAY001"])
+    assert [f.rule for f in report.findings] == ["LAY001"]
+    assert "facade" in report.findings[0].message
+
+
 def test_downward_imports_are_allowed():
     checker = LayerChecker("repro")
     # core (3) -> tabular (1) is fine; exercised indirectly by the
@@ -333,7 +471,8 @@ def test_shipped_tree_lints_clean_against_committed_baseline():
 def test_rule_ids_catalogue():
     assert rule_ids() == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
-        "REP007", "REP008", "REP009",
+        "REP007", "REP008", "REP009", "REP010", "REP011", "REP012",
+        "REP013",
     ]
 
 
@@ -424,7 +563,63 @@ def test_cli_lint_package_with_baseline_is_green(capsys):
 def test_cli_lint_unknown_rule_is_usage_error(capsys):
     code = main(["lint", str(FIXTURES), "--select", "NOPE"])
     assert code == 2
-    assert "unknown rule" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+    assert "REP013" in err  # the error lists every valid code
+
+
+def test_cli_lint_empty_select_is_usage_error(capsys):
+    code = main(["lint", str(FIXTURES), "--select", ""])
+    assert code == 2
+    assert "no runnable rules" in capsys.readouterr().err
+
+
+def test_cli_lint_github_format(capsys):
+    code = main(["lint", str(FIXTURES), "--format", "github"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "::error file=" in out
+    assert "title=REP011::" in out
+    first = out.splitlines()[0]
+    assert ",line=" in first and ",col=" in first
+
+
+def test_cli_stale_baseline_fails_then_prune_recovers(tmp_path, capsys):
+    pkg = tmp_path / "clean"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "core" / "m.py").write_text("def f() -> int:\n    return 1\n")
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(json.dumps({
+        "version": 1,
+        "entries": [{
+            "rule": "REP004", "path": "core/gone.py",
+            "message": "no longer exists", "reason": "was fixed",
+        }],
+    }))
+    code = main(["lint", str(pkg), "--baseline", str(baseline_file)])
+    assert code == 1
+    assert "--prune-baseline" in capsys.readouterr().out
+    code = main([
+        "lint", str(pkg), "--baseline", str(baseline_file),
+        "--prune-baseline",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0, captured.out
+    assert "pruned 1 stale entr" in captured.err
+    assert json.loads(baseline_file.read_text())["entries"] == []
+    # The pruned file is now green without the flag.
+    assert main(["lint", str(pkg), "--baseline", str(baseline_file)]) == 0
+
+
+def test_cli_prune_baseline_requires_a_baseline(
+    tmp_path, monkeypatch, capsys
+):
+    # Run from a directory with no default lint-baseline.json, or the
+    # CLI would pick up (and prune!) the repo's committed one.
+    monkeypatch.chdir(tmp_path)
+    code = main(["lint", str(FIXTURES), "--prune-baseline"])
+    assert code == 2
+    assert "--baseline" in capsys.readouterr().err
 
 
 def test_run_lint_multiple_paths(tmp_path):

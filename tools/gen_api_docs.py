@@ -27,6 +27,7 @@ PACKAGES = [
     ("repro.extensions", "Extensions (§VII)"),
     ("repro.utility", "Workload utility"),
     ("repro.obs", "Observability: tracing, metrics, profiling"),
+    ("repro.analysis", "Static analysis: lint, dataflow, call graph"),
     ("repro.runtime", "Execution resilience runtime"),
     ("repro.experiments", "Experiment harness"),
     ("repro.verify", "Verification & fuzzing harness"),

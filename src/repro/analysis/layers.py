@@ -8,7 +8,7 @@ The codebase layers strictly::
     matching · measures · obs.summarize              (3)
     core                                             (4)
     datasets · extensions · privacy · utility · verify · runtime.fallback  (5)
-    experiments                                      (6)
+    experiments · serve                              (6)
     perf                                             (7)
     cli                                              (8)
     __main__                                         (9)
@@ -69,6 +69,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "verify": 5,
     "runtime.fallback": 5,  # degradation chains orchestrate core algorithms
     "experiments": 6,
+    "serve": 6,  # the server orchestrates fallback chains over datasets
     "perf": 7,  # benchmarks/parallel execution drive the experiment runner
     "cli": 8,
     "__main__": 9,  # the entry shim sits above the CLI it wraps

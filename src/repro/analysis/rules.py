@@ -891,6 +891,65 @@ class BarePrint(Rule):
                 )
 
 
+# --------------------------------------------------------------------- #
+# REP014 — raw concurrency/socket primitives outside the serving layers
+# --------------------------------------------------------------------- #
+
+#: Blocking/concurrency *calls* that belong behind the serving layer's
+#: injectable primitives.  ``socket`` is matched by prefix — any direct
+#: socket construction counts.
+_RAW_CONCURRENCY = {
+    "time.sleep",
+    "threading.Thread",
+    "threading.Timer",
+}
+
+
+class RawConcurrencyPrimitive(Rule):
+    """REP014: raw socket/thread/sleep use outside ``serve``/``runtime``.
+
+    Concurrency is confined to the two layers built to own it:
+    ``repro.runtime`` wraps sleeping behind the injectable
+    :data:`~repro.runtime.retry.Sleeper` and ``repro.serve`` owns the
+    threads, locks and sockets of the long-lived server.  A
+    ``threading.Thread`` spawned from an algorithm or a ``time.sleep``
+    in a harness is untestable wall-clock behavior that the fault
+    plans, fake clocks and drills cannot reach — route sleeps through
+    an injected sleeper and push thread/socket work into
+    ``repro.serve``.  Referencing a primitive without calling it
+    (``sleeper=time.sleep`` as an injectable default) stays legal, as
+    do the synchronization *guards* (``threading.Lock``/``Condition``
+    etc.) that pure data structures legitimately need.
+    """
+
+    rule_id = "REP014"
+    summary = "raw socket/thread/sleep primitive outside repro.serve/repro.runtime"
+    allowed_segments = ("serve", "runtime")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.segment in self.allowed_segments:
+            return
+        aliases = _module_aliases(ctx.tree, "time")
+        aliases.update(_module_aliases(ctx.tree, "threading"))
+        aliases.update(_module_aliases(ctx.tree, "socket"))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolve_dotted(aliases, node.func)
+            if target is None:
+                continue
+            if target in _RAW_CONCURRENCY or target.startswith("socket."):
+                yield Finding(
+                    ctx.rel,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    f"'{target}()' called outside repro.serve/repro.runtime; "
+                    "sleeps go through an injected Sleeper and "
+                    "thread/socket work belongs to the serving layer",
+                )
+
+
 #: Every module/project rule, in rule-id order.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -902,6 +961,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SwallowedException(),
     RawTimerCall(),
     BarePrint(),
+    RawConcurrencyPrimitive(),
 )
 
 #: rule id -> one-line summary, for ``--select`` validation and docs.

@@ -31,9 +31,15 @@ Subcommands
   harness (:mod:`repro.verify`) on random seeded instances; on failure
   prints a replay command that reproduces the case deterministically.
 * ``lint`` — run the domain-aware static analysis
-  (:mod:`repro.analysis`): the REP001–REP009 rule catalogue plus the
+  (:mod:`repro.analysis`): the REP001–REP014 rule catalogue plus the
   import-layering DAG check, with inline suppressions and a committed
   baseline ratchet.
+* ``serve`` — run the fault-hardened anonymization HTTP service
+  (:mod:`repro.serve`): ``POST /anonymize`` with admission control and
+  typed load shedding, per-request deadlines, a circuit breaker over
+  the degradation chain, and a crash-safe result cache journal so a
+  killed server restarts with zero recomputation
+  (``docs/serving.md``).
 
 Examples
 --------
@@ -350,6 +356,76 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the scanned tree's call graph (entry points, "
         "reachability) as deterministic JSON to PATH",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the fault-hardened anonymization HTTP service "
+        "(repro.serve)",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        help="bind port (default 8077; 0 binds an ephemeral port, "
+        "printed on startup)",
+    )
+    serve_cmd.add_argument(
+        "--cache-journal",
+        metavar="PATH",
+        help="crash-safe JSONL journal for the result cache; an "
+        "existing journal is replayed on startup so a restarted "
+        "server serves cached results with zero recomputation",
+    )
+    serve_cmd.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="concurrent executions before requests queue (default 4)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="bounded wait-queue depth; beyond it requests are shed "
+        "with a typed 429 (default 16)",
+    )
+    serve_cmd.add_argument(
+        "--default-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request budget when the request sets none (default 30)",
+    )
+    serve_cmd.add_argument(
+        "--rung-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-rung cap inside the degradation chain (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive backend failures that trip the circuit "
+        "breaker (default 5)",
+    )
+    serve_cmd.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="breaker cooldown before a half-open probe (default 30)",
+    )
+    serve_cmd.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record per-request span traces (JSONL); convert with "
+        "'repro-anon trace convert'",
     )
     return parser
 
@@ -762,6 +838,48 @@ def _dispatch_experiment(args: argparse.Namespace, runner) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer
+    from repro.runtime import Journal
+    from repro.serve import (
+        AnonymizationService,
+        ResultCache,
+        ServiceConfig,
+        serve_http,
+    )
+
+    config = ServiceConfig(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_timeout=args.default_timeout,
+        rung_timeout=args.rung_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+    )
+    cache = ResultCache(
+        Journal(args.cache_journal) if args.cache_journal else None,
+        retry=config.retry,
+    )
+    tracer = Tracer(args.trace) if args.trace else None
+    service = AnonymizationService(config, cache, tracer=tracer)
+    recovered = service.recover()
+    if args.cache_journal:
+        print(
+            f"cache journal {args.cache_journal}: "
+            f"recovered {recovered} cached results"
+        )
+    server = serve_http(service, host=args.host, port=args.port)
+    # The smoke harness parses this line to learn the bound port.
+    print(f"serving on http://{args.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -811,6 +929,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_experiment(args)
     except DeadlineExceeded as exc:
         print(f"deadline exceeded: {exc}", file=sys.stderr)

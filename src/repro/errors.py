@@ -102,6 +102,36 @@ class InjectedFault(ReproError):
         self.site = site  #: fault site that fired
 
 
+class RequestError(ReproError):
+    """A service request payload is malformed or names unknown options.
+
+    Raised while parsing a :mod:`repro.serve` request envelope, before
+    any work is admitted; maps to a 400-style response.
+    """
+
+
+class ServiceOverloaded(ReproError):
+    """A request was shed by admission control instead of being run.
+
+    Carries the typed shed *reason* (``queue_full``, ``breaker_open``
+    or ``deadline_unmeetable``) and a ``retry_after`` hint in seconds;
+    maps to a 429-style response.  Shedding is deliberate degradation —
+    the service refuses work it cannot finish inside the SLO rather
+    than hanging or silently weakening the served guarantee.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "",
+        retry_after: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason  #: typed shed reason
+        self.retry_after = retry_after  #: suggested client backoff, seconds
+
+
 class FallbackExhausted(ReproError):
     """Every rung of a degradation chain failed.
 

@@ -43,6 +43,7 @@ from repro.perf.equivalence import (
 )
 from repro.perf.parallel import ParallelStats, run_parallel
 from repro.perf.plan import plan_cells, plan_experiment
+from repro.perf.serve_bench import percentile, serve_cases
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -60,8 +61,10 @@ __all__ = [
     "find_baseline",
     "load_report",
     "machine_fingerprint",
+    "percentile",
     "plan_cells",
     "plan_experiment",
     "run_bench",
     "run_parallel",
+    "serve_cases",
 ]

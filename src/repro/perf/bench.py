@@ -332,8 +332,10 @@ def _hotpath_cases(sizes: Sequence[int]) -> list[BenchCase]:
 
 def default_cases(quick: bool = False) -> list[BenchCase]:
     """The pinned case set (``--quick`` shrinks the n-grid)."""
+    from repro.perf.serve_bench import serve_cases  # avoid import cycle
+
     sizes = QUICK_SIZES if quick else FULL_SIZES
-    return _algorithm_cases(sizes) + _hotpath_cases(sizes)
+    return _algorithm_cases(sizes) + _hotpath_cases(sizes) + serve_cases(quick)
 
 
 # ---------------------------------------------------------------------- #
@@ -345,12 +347,13 @@ def _time_case(case: BenchCase, repeat: int) -> dict[str, Any]:
     fn = case.setup()
     fn()  # warmup: fills caches / JIT-ish lazy imports outside the timing
     seconds: list[float] = []
+    last: object = None
     with span("perf.bench.case", case=case.name):
         for _ in range(repeat):
             with Timer() as timer:
-                fn()
+                last = fn()
             seconds.append(timer.seconds)
-    return {
+    entry = {
         "name": case.name,
         "group": case.group,
         "n": case.n,
@@ -362,6 +365,12 @@ def _time_case(case: BenchCase, repeat: int) -> dict[str, Any]:
         "mean": statistics.fmean(seconds),
         "max": max(seconds),
     }
+    # A timed closure may return {"__bench_extra__": {...}} to fold
+    # case-specific stats (e.g. the serve group's throughput and latency
+    # quantiles) into its report entry alongside the repeat timings.
+    if isinstance(last, dict) and isinstance(last.get("__bench_extra__"), dict):
+        entry.update(last["__bench_extra__"])
+    return entry
 
 
 def run_bench(

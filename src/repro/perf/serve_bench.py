@@ -1,0 +1,127 @@
+"""The ``serve`` bench group: service throughput and latency quantiles.
+
+Two cases per table size, both driving the deterministic
+:func:`repro.serve.protocol.request_mix` through
+:meth:`~repro.serve.service.AnonymizationService.handle` in-process
+(no sockets — the transport is benchmarked code, the HTTP framing is
+not):
+
+* ``serve-cold-n<N>`` — a fresh service per run, so every request pays
+  the full admission → fallback-chain → cache-store path.
+* ``serve-warm-n<N>`` — one pre-warmed service, so every request is a
+  cache hit: this is the steady-state overhead of the serving layer
+  itself.
+
+Beyond the standard repeat timings, each case entry carries a
+``serve`` block — requests driven, throughput (requests/second) and
+p50/p99 per-request latency in milliseconds — folded into the
+``BENCH_*.json`` case schema via the timed closure's
+``__bench_extra__`` return contract (see
+:func:`repro.perf.bench._time_case`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable
+
+from repro.perf.bench import BenchCase
+from repro.runtime import Timer
+from repro.runtime.retry import RetryPolicy
+from repro.serve.protocol import AnonymizeRequest, request_mix
+from repro.serve.service import AnonymizationService, ServiceConfig
+
+#: Requests per timed run, per bench mode.
+QUICK_REQUESTS = 8
+FULL_REQUESTS = 16
+
+_MIX_SEED = 0
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def _bench_config() -> ServiceConfig:
+    return ServiceConfig(
+        max_inflight=2,
+        max_queue=64,
+        default_timeout=120.0,
+        retry=RetryPolicy(attempts=2, base_delay=0.0, seed=0),
+    )
+
+
+def _drive(
+    service: AnonymizationService,
+    mix: list[AnonymizeRequest],
+    clock: Callable[[], float] = time.monotonic,
+) -> dict[str, Any]:
+    """Serve the mix sequentially; return the ``__bench_extra__`` stats."""
+    latencies: list[float] = []
+    shed = 0
+    with Timer(clock=clock) as wall:
+        for request in mix:
+            with Timer(clock=clock) as per_request:
+                envelope = service.handle(request.to_json())
+            if envelope["status"] == "ok":
+                latencies.append(per_request.seconds)
+            else:
+                shed += 1
+    total = wall.seconds
+    return {
+        "__bench_extra__": {
+            "serve": {
+                "requests": len(mix),
+                "shed": shed,
+                "throughput_rps": len(mix) / total if total > 0 else 0.0,
+                "latency_p50_ms": percentile(latencies, 50.0) * 1000.0,
+                "latency_p99_ms": percentile(latencies, 99.0) * 1000.0,
+            }
+        }
+    }
+
+
+def serve_cases(quick: bool = False) -> list[BenchCase]:
+    """The ``serve`` group's cases for one bench mode."""
+    requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    n = 40 if quick else 60
+    mix = [
+        AnonymizeRequest(
+            k=base.k,
+            dataset=base.dataset,
+            n=n,
+            seed=base.seed,
+            notion=base.notion,
+            measure=base.measure,
+        )
+        for base in request_mix(_MIX_SEED, requests)
+    ]
+
+    def cold_setup() -> Callable[[], object]:
+        # A new service per run: every request recomputes.
+        return lambda: _drive(
+            AnonymizationService(_bench_config()), mix
+        )
+
+    def warm_setup() -> Callable[[], object]:
+        service = AnonymizationService(_bench_config())
+        _drive(service, mix)  # pre-warm: fill the result cache
+        return lambda: _drive(service, mix)
+
+    return [
+        BenchCase(f"serve-cold-n{n}", "serve", n, cold_setup),
+        BenchCase(f"serve-warm-n{n}", "serve", n, warm_setup),
+    ]

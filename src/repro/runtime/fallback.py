@@ -274,7 +274,7 @@ def run_with_fallback(
         cap = rung.timeout if rung.timeout is not None else rung_timeout
         if cap is not None:
             limits.append(Deadline.after(cap, clock=clock))
-        timer = Timer()
+        timer = Timer(clock=clock)
         try:
             with timer, limit_scope(*limits), span(
                 "runtime.fallback.rung", rung=rung.name

@@ -59,6 +59,11 @@ KNOWN_SITES: frozenset[str] = frozenset(
         "experiments.cell",
         "perf.parallel.submit",
         "perf.parallel.collect",
+        "serve.accept",
+        "serve.enqueue",
+        "serve.execute",
+        "serve.cache.load",
+        "serve.cache.store",
     }
 )
 

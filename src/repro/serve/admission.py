@@ -1,0 +1,238 @@
+"""Admission control: bounded queueing, SLO triage, circuit breaking.
+
+The service refuses work it cannot finish rather than letting latency
+grow without bound.  Three typed shed reasons:
+
+``queue_full``
+    The bounded wait queue is at capacity — depth alone makes the SLO
+    unmeetable for a newcomer.
+``deadline_unmeetable``
+    Queue depth times the EWMA service time already exceeds the
+    request's latency budget; admitting it would burn compute on an
+    answer the client will have abandoned.
+``breaker_open``
+    The circuit breaker tripped on consecutive backend failures and is
+    cooling down; a half-open probe re-tests the backend before the
+    gate fully reopens.
+
+Every clock here is injectable (:data:`~repro.obs.Clock`), so shed and
+breaker transitions are unit-testable with a fake clock and no test
+ever sleeps wall-clock time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError, ServiceOverloaded
+from repro.obs import Clock
+
+
+@dataclass(frozen=True)
+class GateStats:
+    """A point-in-time view of the admission gate."""
+
+    queued: int  #: requests waiting for an execution slot
+    inflight: int  #: requests currently executing
+    ewma_seconds: float  #: smoothed observed service time
+
+
+class CircuitBreaker:
+    """Classic closed / open / half-open breaker on an injectable clock.
+
+    ``failure_threshold`` consecutive backend failures open the
+    breaker; after ``reset_after`` seconds a single half-open probe is
+    admitted — success recloses, failure reopens the cooldown.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 30.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after <= 0:
+            raise ReproError(f"reset_after must be positive, got {reset_after}")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half-open``."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may reach the backend right now."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self.clock() - self._opened_at >= self.reset_after:
+                    self._state = "half-open"
+                    self._probing = False
+                else:
+                    return False
+            # half-open: exactly one probe at a time.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        """The backend call succeeded: reclose and reset the count."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """The backend call failed: count it, trip when over threshold."""
+        with self._lock:
+            self._failures += 1
+            if (
+                self._state == "half-open"
+                or self._failures >= self.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self.clock()
+                self._probing = False
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe would be admitted."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            remaining = self.reset_after - (self.clock() - self._opened_at)
+            return max(0.0, remaining)
+
+
+class AdmissionGate:
+    """Bounded two-stage gate: a wait queue in front of execution slots.
+
+    ``try_admit`` is the cheap, lock-only triage step (shed decisions
+    never block); ``enter`` then waits — bounded by the request's own
+    budget — for one of ``max_inflight`` execution slots.  Observed
+    service times feed an EWMA used to estimate whether a newcomer's
+    deadline is already unmeetable from queue depth alone.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 4,
+        max_queue: int = 16,
+        expected_seconds: float = 0.5,
+        ewma_alpha: float = 0.3,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ReproError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ReproError(f"max_queue must be >= 0, got {max_queue}")
+        if expected_seconds <= 0:
+            raise ReproError(
+                f"expected_seconds must be positive, got {expected_seconds}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ReproError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.ewma_alpha = ewma_alpha
+        self.clock = clock
+        self._cond = threading.Condition()
+        self._queued = 0
+        self._inflight = 0
+        self._ewma = expected_seconds
+
+    def stats(self) -> GateStats:
+        """Current depth and smoothed service time."""
+        with self._cond:
+            return GateStats(self._queued, self._inflight, self._ewma)
+
+    def estimated_wait(self) -> float:
+        """EWMA-based estimate of a newcomer's queueing delay."""
+        with self._cond:
+            return self._estimated_wait_locked()
+
+    def _estimated_wait_locked(self) -> float:
+        backlog = self._queued + max(
+            0, self._inflight - self.max_inflight + 1
+        )
+        return backlog * self._ewma / self.max_inflight
+
+    def try_admit(self, budget: float | None) -> None:
+        """Admit into the wait queue, or raise a typed shed.
+
+        Raises
+        ------
+        ServiceOverloaded
+            With reason ``queue_full`` when the queue is at capacity,
+            or ``deadline_unmeetable`` when the estimated queueing
+            delay plus one EWMA service time already exceeds
+            ``budget``.
+        """
+        with self._cond:
+            if self._queued >= self.max_queue:
+                raise ServiceOverloaded(
+                    f"wait queue is full ({self._queued}/{self.max_queue})",
+                    reason="queue_full",
+                    retry_after=self._estimated_wait_locked() + self._ewma,
+                )
+            estimate = self._estimated_wait_locked() + self._ewma
+            if budget is not None and estimate > budget:
+                raise ServiceOverloaded(
+                    f"estimated completion {estimate:.3f}s exceeds the "
+                    f"request budget {budget:.3f}s "
+                    f"(queued={self._queued}, inflight={self._inflight})",
+                    reason="deadline_unmeetable",
+                    retry_after=self._estimated_wait_locked(),
+                )
+            self._queued += 1
+
+    def enter(self, timeout: float | None = None) -> bool:
+        """Move from the queue into an execution slot (may block).
+
+        Returns ``False`` when no slot freed up within ``timeout``
+        seconds; the queue reservation is released either way, so a
+        caller that gets ``False`` simply sheds.
+        """
+        with self._cond:
+            deadline = None if timeout is None else self.clock() + timeout
+            while self._inflight >= self.max_inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self.clock()
+                    if remaining <= 0:
+                        self._queued -= 1
+                        self._cond.notify()
+                        return False
+                self._cond.wait(remaining)
+            self._queued -= 1
+            self._inflight += 1
+            return True
+
+    def cancel(self) -> None:
+        """Release a queue reservation without executing (e.g. a fault)."""
+        with self._cond:
+            self._queued -= 1
+            self._cond.notify()
+
+    def leave(self, service_seconds: float) -> None:
+        """Release an execution slot and fold the timing into the EWMA."""
+        with self._cond:
+            self._inflight -= 1
+            if service_seconds > 0:
+                self._ewma += self.ewma_alpha * (service_seconds - self._ewma)
+            self._cond.notify()

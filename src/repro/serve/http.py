@@ -1,0 +1,115 @@
+"""Stdlib HTTP transport around :class:`AnonymizationService`.
+
+``ThreadingHTTPServer`` + ``BaseHTTPRequestHandler`` only — the whole
+server is zero-dependency.  Endpoints:
+
+``POST /anonymize``
+    JSON request body → response envelope.  200 on success, 400 on bad
+    or infeasible requests, 429 (with ``Retry-After``) on typed load
+    sheds, 503 when the degradation chain is exhausted.
+``GET /healthz``
+    Gate depth, breaker state and cache size.
+``GET /metricz``
+    The service registry's metrics snapshot (counters, latency
+    histograms) — the smoke drill reads ``serve.execute.computed``
+    here to prove zero recomputation after a crash.
+
+Request threads spawned by the server cannot see the main thread's
+``ContextVar`` scopes; the service installs its own registry/tracer
+scopes inside :meth:`AnonymizationService.handle`, so observability
+works identically over HTTP and in-process.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.serve.protocol import http_status
+from repro.serve.service import AnonymizationService
+
+#: Cap on accepted request bodies (a service guarding its memory
+#: should not buffer arbitrarily large payloads).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one service instance."""
+
+    daemon_threads = True  #: in-flight threads die with the process
+
+    def __init__(
+        self, address: tuple[str, int], service: AnonymizationService
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with port 0)."""
+        return int(self.server_address[1])
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        if self.path != "/anonymize":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._reply(400, {"error": "missing or oversized request body"})
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"request body is not JSON: {exc}"})
+            return
+        envelope = self.server.service.handle(payload)
+        status = http_status(envelope)
+        headers = {}
+        if status == 429:
+            retry_after = envelope.get("shed", {}).get("retry_after", 0.0)
+            headers["Retry-After"] = f"{max(retry_after, 0.0):.3f}"
+        self._reply(status, envelope, headers)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", **self.server.service.stats()})
+        elif self.path == "/metricz":
+            self._reply(200, self.server.service.registry.snapshot())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def _reply(
+        self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging goes through the service's metrics instead
+
+
+def serve_http(
+    service: AnonymizationService, host: str = "127.0.0.1", port: int = 8077
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the HTTP server for ``service``.
+
+    Returns the bound server; the caller runs ``serve_forever()`` (the
+    CLI) or drives it from a thread (tests).  ``port=0`` binds an
+    ephemeral port, readable via :attr:`ServiceHTTPServer.port`.
+    """
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,363 @@
+"""The anonymization service: admission → cache → fallback → respond.
+
+One :meth:`AnonymizationService.handle` call is the whole request
+lifecycle, independent of any transport (the HTTP layer, the chaos
+drill and the serve bench all drive it directly):
+
+1. **accept** — parse/validate the payload (fault site ``serve.accept``
+   behind seeded retry).
+2. **admit** — circuit breaker, then the bounded
+   :class:`~repro.serve.admission.AdmissionGate`; overload yields a
+   typed shed envelope, never a hang.
+3. **cache** — fingerprint the loaded table and look up
+   ``(fingerprint, k, notion, measure)``; hits serve the stored body
+   verbatim with zero recomputation.
+4. **execute** — run the :mod:`repro.runtime.fallback` degradation
+   chain under the request's :class:`~repro.runtime.Deadline`, guarded
+   by retry and the breaker; the winning rung lands in the response's
+   guarantee block.
+5. **store** — persist the deterministic body through the crash-safe
+   cache journal *after* the deadline scope is exited, so a result in
+   hand is never discarded because storing it ran past the SLO.
+
+Because HTTP requests arrive on server threads (where the main
+thread's ``ContextVar`` scopes are invisible), the service owns its
+:class:`~repro.obs.MetricsRegistry`/:class:`~repro.obs.Tracer` and
+enters both scopes inside ``handle`` — per-request spans and latency
+histograms work identically in-process and under ``ThreadingHTTPServer``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.datasets.registry import load as load_dataset
+from repro.errors import (
+    FallbackExhausted,
+    ReproError,
+    RequestError,
+    ServiceOverloaded,
+)
+from repro.obs import (
+    Clock,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    count,
+    metrics_scope,
+    observe,
+    span,
+    trace_scope,
+)
+from repro.runtime.deadline import Deadline, Timer, checkpoint, limit_scope
+from repro.runtime.fallback import (
+    DEFAULT_CHAIN,
+    FallbackOutcome,
+    Rung,
+    run_with_fallback,
+)
+from repro.runtime.retry import RetryPolicy, Sleeper, call_with_retry
+from repro.serve.admission import AdmissionGate, CircuitBreaker
+from repro.serve.cache import ResultCache, cache_key, table_fingerprint
+from repro.serve.protocol import (
+    AnonymizeRequest,
+    build_body,
+    error_envelope,
+    ok_envelope,
+    shed_envelope,
+)
+from repro.tabular.table import Table
+
+#: Resolves a request to the table it names (injectable for tests that
+#: serve hand-built tables with custom QI configurations).
+TableLoader = Callable[[AnonymizeRequest], Table]
+
+
+def default_loader(request: AnonymizeRequest) -> Table:
+    """Load the registry dataset a request names."""
+    return load_dataset(request.dataset, n=request.n, seed=request.seed)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every SLO knob in one place (see docs/serving.md)."""
+
+    max_inflight: int = 4  #: concurrent executions
+    max_queue: int = 16  #: bounded wait queue depth
+    default_timeout: float = 30.0  #: per-request budget when unset, seconds
+    rung_timeout: float | None = None  #: per-rung cap inside the chain
+    expected_seconds: float = 0.5  #: EWMA seed for shed estimation
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(attempts=3, base_delay=0.01, seed=0)
+    )
+    breaker_threshold: int = 5  #: consecutive failures that trip the breaker
+    breaker_reset: float = 30.0  #: breaker cooldown, seconds
+
+
+def chain_for(notion: str) -> tuple[Rung, ...]:
+    """The degradation chain serving a requested notion.
+
+    The first rung targets the notion itself; the tail reuses the
+    plain-k rungs of :data:`~repro.runtime.fallback.DEFAULT_CHAIN`
+    (agglomerative → mondrian → suppress), each of which still
+    satisfies k-anonymity — the guarantee block records the served
+    notion so degradation is visible, never silent.
+    """
+    if notion == "kk":
+        return DEFAULT_CHAIN
+    tail = tuple(rung for rung in DEFAULT_CHAIN if rung.notion == "k")
+    if notion == "k":
+        return tail
+    return (Rung(notion, notion=notion),) + tail
+
+
+class AnonymizationService:
+    """Transport-independent request handler (see the module docstring).
+
+    Parameters
+    ----------
+    config:
+        SLO knobs; defaults are sized for interactive use.
+    cache:
+        Result cache (journal-backed for crash recovery); defaults to
+        a memory-only cache.
+    loader:
+        Request → table resolver; injectable for tests.
+    clock:
+        Monotonic clock driving deadlines, the breaker and the gate.
+    sleeper:
+        Retry-backoff sleeper; injectable so tests never sleep.
+    registry / tracer:
+        Service-owned observability sinks, entered per request (the
+        server's worker threads cannot see caller ``ContextVar``
+        scopes, so the service carries its own).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        cache: ResultCache | None = None,
+        *,
+        loader: TableLoader = default_loader,
+        clock: Clock = time.monotonic,
+        sleeper: Sleeper = time.sleep,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.cache = cache if cache is not None else ResultCache(
+            retry=self.config.retry, sleeper=sleeper
+        )
+        self.loader = loader
+        self.clock = clock
+        self.sleeper = sleeper
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.gate = AdmissionGate(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            expected_seconds=self.config.expected_seconds,
+            clock=clock,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_after=self.config.breaker_reset,
+            clock=clock,
+        )
+        self._ids = itertools.count(1)
+        self._fingerprints: dict[tuple[str, int | None, int], str] = {}
+        self._fp_lock = threading.Lock()
+
+    # ----------------------------------------------------------------- #
+
+    def recover(self) -> int:
+        """Replay the cache journal (on restart); returns bodies loaded."""
+        with metrics_scope(self.registry), trace_scope(self.tracer):
+            with span("serve.recover"):
+                return self.cache.load()
+
+    def handle(self, payload: Any) -> dict[str, Any]:
+        """Serve one request payload; always returns an envelope.
+
+        ``payload`` is the decoded JSON request body (or an
+        :class:`AnonymizeRequest` directly).  Never raises for
+        request-shaped failures — overload, bad input, infeasible
+        parameters and exhausted chains all come back as typed
+        envelopes.
+        """
+        with metrics_scope(self.registry), trace_scope(self.tracer):
+            count("serve.requests")
+            timer = Timer(clock=self.clock)
+            with timer, span("serve.request"):
+                envelope = self._accept_and_serve(payload)
+            envelope["meta"]["elapsed_seconds"] = timer.seconds
+            observe("serve.request_seconds", timer.seconds)
+            count(f"serve.status.{envelope['status']}")
+            return envelope
+
+    def stats(self) -> dict[str, Any]:
+        """Health snapshot: gate depth, breaker state, cache size."""
+        gate = self.gate.stats()
+        return {
+            "queued": gate.queued,
+            "inflight": gate.inflight,
+            "ewma_seconds": gate.ewma_seconds,
+            "breaker": self.breaker.state,
+            "cached_bodies": len(self.cache),
+        }
+
+    # ----------------------------------------------------------------- #
+
+    def _accept_and_serve(self, payload: Any) -> dict[str, Any]:
+        try:
+            request = self._accept(payload)
+        except RequestError as exc:
+            count("serve.errors.request")
+            return error_envelope(None, exc)
+        request_id = next(self._ids)
+        try:
+            envelope = self._admit_and_execute(request)
+        except ServiceOverloaded as shed:
+            count(f"serve.shed.{shed.reason}")
+            envelope = shed_envelope(request, shed)
+        except ReproError as exc:
+            count("serve.errors.internal")
+            envelope = error_envelope(request, exc)
+        envelope["meta"]["request_id"] = request_id
+        return envelope
+
+    def _accept(self, payload: Any) -> AnonymizeRequest:
+        def _parse() -> AnonymizeRequest:
+            checkpoint("serve.accept")
+            if isinstance(payload, AnonymizeRequest):
+                return payload
+            return AnonymizeRequest.from_json(payload)
+
+        return call_with_retry(
+            _parse, policy=self.config.retry, sleep=self.sleeper
+        )
+
+    def _admit_and_execute(self, request: AnonymizeRequest) -> dict[str, Any]:
+        budget = (
+            request.timeout
+            if request.timeout is not None
+            else self.config.default_timeout
+        )
+        if not self.breaker.allow():
+            raise ServiceOverloaded(
+                "circuit breaker is open after repeated backend failures",
+                reason="breaker_open",
+                retry_after=self.breaker.retry_after(),
+            )
+        started = self.clock()
+        with span("serve.admit"):
+            self.gate.try_admit(budget)  # raises the typed shed itself
+
+            def _enter() -> bool:
+                # The fault site fires *before* the slot transition so a
+                # retried attempt never double-claims a slot.
+                checkpoint("serve.enqueue")
+                return self.gate.enter(timeout=budget)
+
+            try:
+                entered = call_with_retry(
+                    _enter, policy=self.config.retry, sleep=self.sleeper
+                )
+            except ReproError:
+                self.gate.cancel()
+                raise
+        if not entered:
+            raise ServiceOverloaded(
+                f"no execution slot freed up within the {budget:.3f}s budget",
+                reason="deadline_unmeetable",
+                retry_after=self.gate.estimated_wait(),
+            )
+        work_timer = Timer(clock=self.clock)
+        try:
+            with work_timer:
+                remaining = max(0.0, budget - (self.clock() - started))
+                return self._execute(request, remaining)
+        finally:
+            self.gate.leave(work_timer.seconds)
+
+    def _execute(self, request: AnonymizeRequest, budget: float) -> dict[str, Any]:
+        table = self.loader(request)
+        if request.k > table.num_records:
+            raise RequestError(
+                f"k={request.k} exceeds the table size n={table.num_records}"
+            )
+        fingerprint = self._fingerprint(request, table)
+        key = cache_key(
+            fingerprint, request.k, request.notion, request.measure
+        )
+        with span("serve.cache.lookup"):
+            body = self.cache.get(key)
+        if body is not None:
+            return ok_envelope(request, body, cache_hit=True)
+
+        chain = chain_for(request.notion)
+
+        def _run() -> FallbackOutcome:
+            checkpoint("serve.execute")
+            with limit_scope(Deadline.after(budget, clock=self.clock)):
+                return run_with_fallback(
+                    table,
+                    request.k,
+                    chain=chain,
+                    measure=request.measure,
+                    overall_timeout=budget,
+                    rung_timeout=self.config.rung_timeout,
+                    clock=self.clock,
+                )
+
+        with span("serve.execute", notion=request.notion, k=request.k):
+            outcome = call_with_retry(
+                _run, policy=self.config.retry, sleep=self.sleeper
+            )
+        if not outcome.ok:
+            self.breaker.record_failure()
+            count("serve.exhausted")
+            return error_envelope(
+                request,
+                FallbackExhausted(
+                    "every rung of the degradation chain failed:\n"
+                    + outcome.report.format(),
+                    report=outcome.report,
+                ),
+            )
+        self.breaker.record_success()
+        count("serve.execute.computed")
+        assert outcome.result is not None
+        body = build_body(
+            request, table, outcome.result, outcome.report, chain[0].name
+        )
+        if outcome.report.winner != chain[0].name:
+            count("serve.degraded")
+        # Store *outside* the deadline scope: the result exists; failing
+        # the request because persistence ran past the SLO helps nobody.
+        self.cache.put(key, body)
+        return ok_envelope(request, body, cache_hit=False)
+
+    def _fingerprint(self, request: AnonymizeRequest, table: Table) -> str:
+        """Fingerprint with a per-(dataset, n, seed) memo.
+
+        The memo only short-circuits the hash for *registry-named*
+        tables, which are pure functions of ``(dataset, n, seed)``;
+        injected loaders that ignore the request (tests) bypass it by
+        keying on the loader identity being the default.
+        """
+        if self.loader is not default_loader:
+            return table_fingerprint(table)
+        memo_key = (request.dataset, request.n, request.seed)
+        with self._fp_lock:
+            cached = self._fingerprints.get(memo_key)
+        if cached is not None:
+            return cached
+        fingerprint = table_fingerprint(table)
+        with self._fp_lock:
+            self._fingerprints[memo_key] = fingerprint
+        return fingerprint

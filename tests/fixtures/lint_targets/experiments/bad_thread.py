@@ -1,0 +1,24 @@
+"""REP014 fixture: raw concurrency primitives outside serve/runtime."""
+
+import socket
+import threading
+import time
+from threading import Thread
+
+
+def hammer(host: str, port: int) -> None:
+    worker = threading.Thread(target=print)  # REP014: thread outside serve
+    worker.start()
+    Thread(target=print).start()  # REP014: aliased import, same primitive
+    time.sleep(0.5)  # REP014: unfakeable wall-clock wait
+    conn = socket.create_connection((host, port))  # REP014: raw socket
+    conn.close()
+
+
+SLEEPER = time.sleep  # a reference, not a call: injection is allowed
+
+
+def guarded() -> threading.Lock:
+    # Synchronization guards are legal — only threads/sleeps/sockets are
+    # the serving layer's business.
+    return threading.Lock()

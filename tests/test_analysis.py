@@ -47,7 +47,7 @@ def test_every_rule_fires_on_the_fixture(fixture_report):
     assert fired == {
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         "REP007", "REP008", "REP009", "REP010", "REP011", "REP012",
-        "REP013", "LAY001",
+        "REP013", "REP014", "LAY001",
     }
 
 
@@ -80,6 +80,9 @@ def test_fixture_findings_point_at_the_right_files(fixture_report):
     assert [f.path for f in by_rule["REP013"]] == [
         "obs/bad_contextvar.py"
     ] * 2
+    assert [f.path for f in by_rule["REP014"]] == [
+        "experiments/bad_thread.py"
+    ] * 4
     assert [f.path for f in by_rule["LAY001"]] == ["tabular/bad_layer.py"]
 
 
@@ -121,6 +124,10 @@ def test_fixture_line_numbers(fixture_report):
         f.line for f in fixture_report.findings if f.rule == "REP013"
     )
     assert ctxvar_lines == [11, 15]
+    thread_lines = sorted(
+        f.line for f in fixture_report.findings if f.rule == "REP014"
+    )
+    assert thread_lines == [10, 12, 13, 14]
 
 
 def test_semantic_negatives_stay_quiet(fixture_report):
@@ -472,7 +479,7 @@ def test_rule_ids_catalogue():
     assert rule_ids() == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         "REP007", "REP008", "REP009", "REP010", "REP011", "REP012",
-        "REP013",
+        "REP013", "REP014",
     ]
 
 
@@ -489,6 +496,38 @@ def test_rep008_allows_timing_layers(tmp_path):
         )
     report = lint_tree(pkg, select=["REP008"])
     assert [f.path for f in report.findings] == ["experiments/m.py"]
+
+
+def test_rep014_allows_serving_layers(tmp_path):
+    # Threads, sleeps and sockets are the serving layer's business;
+    # REP014 must stay quiet in serve/runtime while flagging the rest.
+    pkg = tmp_path / "p"
+    for segment in ("serve", "runtime", "experiments"):
+        (pkg / segment).mkdir(parents=True)
+        (pkg / segment / "m.py").write_text(
+            "import threading\n"
+            "import time\n"
+            "def f() -> None:\n"
+            "    threading.Thread(target=print).start()\n"
+            "    time.sleep(0.1)\n"
+        )
+    report = lint_tree(pkg, select=["REP014"])
+    assert [f.path for f in report.findings] == ["experiments/m.py"] * 2
+
+
+def test_rep014_references_and_guards_stay_legal(tmp_path):
+    # Passing time.sleep as an injectable default and taking a Lock are
+    # both disciplined shapes, not violations.
+    pkg = tmp_path / "p"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "core" / "m.py").write_text(
+        "import threading\n"
+        "import time\n"
+        "def f(sleeper=time.sleep) -> threading.Lock:\n"
+        "    return threading.Lock()\n"
+    )
+    report = lint_tree(pkg, select=["REP014"])
+    assert report.findings == []
 
 
 def test_rep009_allows_presentation_layers(tmp_path):

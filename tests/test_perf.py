@@ -207,11 +207,36 @@ class TestBench:
         loaded = load_report(path)
         assert loaded.metrics == report.metrics
 
+    def test_bench_extra_from_the_timed_closure_lands_in_the_entry(self):
+        def case_setup():
+            return lambda: {"__bench_extra__": {"serve": {"requests": 7}}}
+
+        report = run_bench(
+            cases=[BenchCase("extra", "serve", 1, case_setup)],
+            repeat=2,
+            stamp="2026-01-01T000000Z",
+        )
+        entry = report.case("extra")
+        assert entry is not None
+        assert entry["serve"] == {"requests": 7}
+        assert "__bench_extra__" not in entry
+
+    def test_serve_cases_shape_and_percentiles(self):
+        from repro.perf import percentile, serve_cases
+
+        cases = serve_cases(quick=True)
+        assert [c.group for c in cases] == ["serve", "serve"]
+        assert {c.name for c in cases} == {"serve-cold-n40", "serve-warm-n40"}
+        assert percentile([], 99.0) == 0.0
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+        assert percentile([1.0, 2.0], 100.0) == 2.0
+
     def test_default_case_set_covers_algorithms_and_pairs(self):
         cases = default_cases(quick=True)
         names = {c.name for c in cases}
         assert any(n.startswith("agglomerative-mod") for n in names)
         assert any(n.startswith("hopcroft-karp") for n in names)
+        assert any(n.startswith("serve-cold") for n in names)
         pairs = {c.pair for c in cases if c.pair}
         assert pairs == {
             "entropy-node-costs", "entropy-entry-costs",

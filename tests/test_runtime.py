@@ -253,7 +253,8 @@ class TestFaultPlan:
     def test_known_sites_cover_every_core_module(self):
         prefixes = {site.split(".")[0] for site in KNOWN_SITES}
         assert prefixes == {
-            "core", "matching", "datasets", "runtime", "experiments", "perf"
+            "core", "matching", "datasets", "runtime", "experiments",
+            "perf", "serve",
         }
 
 

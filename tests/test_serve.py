@@ -1,0 +1,512 @@
+"""The serving layer: protocol, cache hygiene, admission, recovery.
+
+The crash-recovery invariants (byte-identical bodies, zero
+recomputation, typed sheds) are exercised three ways with increasing
+realism: unit tests here, the in-process chaos drill
+(:func:`repro.serve.drill.run_chaos_drill`, also run here), and the
+subprocess SIGKILL drill in ``tools/serve_smoke.py`` (CI).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import RequestError, ReproError, ServiceOverloaded
+from repro.obs import MetricsRegistry, metrics_scope
+from repro.runtime import FaultPlan, Journal, fault_scope
+from repro.runtime.fallback import DEFAULT_CHAIN, run_with_fallback
+from repro.runtime.retry import RetryPolicy
+from repro.serve import (
+    AdmissionGate,
+    AnonymizationService,
+    AnonymizeRequest,
+    CircuitBreaker,
+    ResultCache,
+    ServiceConfig,
+    cache_key,
+    canonical_body,
+    chain_for,
+    error_envelope,
+    http_status,
+    ok_envelope,
+    request_mix,
+    run_chaos_drill,
+    serve_http,
+    shed_envelope,
+    table_fingerprint,
+)
+from repro.tabular.attribute import Attribute
+from repro.tabular.hierarchy import SubsetCollection, from_groups
+from repro.tabular.table import Schema, Table
+
+from tests.conftest import make_random_table
+
+
+class FakeClock:
+    """A monotonic clock tests can step by hand."""
+
+    def __init__(self, step: float = 0.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _no_sleep(_seconds: float) -> None:
+    """Backoff sleeper that never touches the wall clock."""
+
+
+_FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.0, seed=0)
+
+
+def _service(**overrides) -> AnonymizationService:
+    """A service sized for unit tests: no sleeping, tiny retries."""
+    kwargs = dict(
+        config=ServiceConfig(retry=_FAST_RETRY),
+        sleeper=_no_sleep,
+    )
+    kwargs.update(overrides)
+    return AnonymizationService(**kwargs)
+
+
+def _request(**overrides) -> dict:
+    payload = {"k": 2, "dataset": "art", "n": 30, "notion": "kk"}
+    payload.update(overrides)
+    return payload
+
+
+# --------------------------------------------------------------------- #
+# protocol
+# --------------------------------------------------------------------- #
+
+
+class TestProtocol:
+    def test_from_json_normalizes_spellings(self):
+        request = AnonymizeRequest.from_json(
+            {"k": 3, "notion": "G1K", "measure": "ENTROPY"}
+        )
+        assert request.notion == "global-1k"
+        assert request.measure == "entropy"
+
+    def test_unknown_fields_are_rejected_not_defaulted(self):
+        with pytest.raises(RequestError, match="notions"):
+            AnonymizeRequest.from_json({"k": 2, "notions": "kk"})
+
+    def test_missing_k_and_bool_k_are_rejected(self):
+        with pytest.raises(RequestError, match="missing"):
+            AnonymizeRequest.from_json({})
+        with pytest.raises(RequestError, match="integer"):
+            AnonymizeRequest.from_json({"k": True})
+
+    def test_bad_timeout_and_notion(self):
+        with pytest.raises(RequestError, match="positive"):
+            AnonymizeRequest.from_json({"k": 2, "timeout": -1})
+        with pytest.raises(RequestError, match="unknown notion"):
+            AnonymizeRequest.from_json({"k": 2, "notion": "zz"})
+
+    def test_request_mix_is_seeded(self):
+        assert request_mix(0, 12) == request_mix(0, 12)
+        assert request_mix(0, 12) != request_mix(1, 12)
+
+    def test_http_status_mapping(self):
+        request = AnonymizeRequest(k=2)
+        assert http_status(ok_envelope(request, {}, cache_hit=False)) == 200
+        shed = ServiceOverloaded("full", reason="queue_full", retry_after=1.0)
+        assert http_status(shed_envelope(request, shed)) == 429
+        assert http_status(error_envelope(None, RequestError("bad"))) == 400
+        assert http_status(error_envelope(request, ReproError("boom"))) == 500
+
+    def test_chain_for_notions(self):
+        assert chain_for("kk") == DEFAULT_CHAIN
+        plain = chain_for("k")
+        assert [r.name for r in plain] == ["agglomerative", "mondrian", "suppress"]
+        one_k = chain_for("1k")
+        assert one_k[0].name == "1k" and one_k[0].notion == "1k"
+        assert [r.name for r in one_k[1:]] == [r.name for r in plain]
+
+
+# --------------------------------------------------------------------- #
+# cache-key hygiene (distinct QI configurations must never collide)
+# --------------------------------------------------------------------- #
+
+
+def _edu_table(groups: list[list[str]]) -> Table:
+    """Same rows, parameterized permissible subsets (QI configuration)."""
+    att = Attribute("edu", ["hs", "college", "ba", "ma", "phd"])
+    coll = from_groups(att, groups) if groups else SubsetCollection(att)
+    schema = Schema([coll])
+    rows = [("hs",), ("college",), ("ba",), ("ma",), ("phd",), ("hs",)]
+    return Table(schema, rows)
+
+
+class TestCacheHygiene:
+    def test_fingerprint_is_content_deterministic(self):
+        assert table_fingerprint(_edu_table([])) == table_fingerprint(
+            _edu_table([])
+        )
+
+    def test_same_rows_different_qi_configuration_never_collide(self):
+        # Identical rows, but different permissible generalization
+        # subsets: serving one's cached result for the other would be a
+        # silent guarantee violation (Bettini et al.'s central point).
+        plain = table_fingerprint(_edu_table([]))
+        grouped = table_fingerprint(_edu_table([["hs", "college"]]))
+        regrouped = table_fingerprint(_edu_table([["ma", "phd"]]))
+        assert len({plain, grouped, regrouped}) == 3
+
+    def test_distinct_notions_measures_and_k_never_collide(self):
+        fingerprint = table_fingerprint(_edu_table([]))
+        keys = {
+            cache_key(fingerprint, k, notion, measure)
+            for k in (2, 3)
+            for notion in ("k", "kk", "1k")
+            for measure in ("entropy", "lm")
+        }
+        assert len(keys) == 12
+
+    def test_journal_roundtrip_last_write_wins(self, tmp_path):
+        journal = Journal(tmp_path / "cache.jsonl")
+        cache = ResultCache(journal, retry=_FAST_RETRY, sleeper=_no_sleep)
+        cache.put("a", {"cost": 1})
+        cache.put("b", {"cost": 2})
+        cache.put("a", {"cost": 3})
+
+        recovered = ResultCache(
+            Journal(tmp_path / "cache.jsonl"),
+            retry=_FAST_RETRY,
+            sleeper=_no_sleep,
+        )
+        assert recovered.load() == 2
+        assert recovered.get("a") == {"cost": 3}
+        assert recovered.get("b") == {"cost": 2}
+
+    def test_recovery_tolerates_a_torn_final_line(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(Journal(path), retry=_FAST_RETRY, sleeper=_no_sleep)
+        cache.put("good", {"cost": 7})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "key": {"cache_key": "torn", "val')
+
+        recovered = ResultCache(
+            Journal(path), retry=_FAST_RETRY, sleeper=_no_sleep
+        )
+        assert recovered.load() == 1
+        assert recovered.get("good") == {"cost": 7}
+
+    def test_malformed_records_are_skipped_and_counted(self, tmp_path):
+        journal = Journal(tmp_path / "cache.jsonl")
+        journal.append({"cache_key": "stale"}, {"cache_v": 99, "body": {}})
+        journal.append({"wrong": "shape"}, {"cache_v": 1, "body": {}})
+        journal.append({"cache_key": "ok"}, {"cache_v": 1, "body": {"x": 1}})
+
+        registry = MetricsRegistry()
+        cache = ResultCache(
+            Journal(journal.path), retry=_FAST_RETRY, sleeper=_no_sleep
+        )
+        with metrics_scope(registry):
+            assert cache.load() == 1
+        assert registry.counter("serve.cache.skipped_records") == 2
+        assert cache.get("ok") == {"x": 1}
+
+    def test_put_swallows_persistent_store_failures(self, tmp_path):
+        cache = ResultCache(
+            Journal(tmp_path / "cache.jsonl"),
+            retry=RetryPolicy(attempts=2, base_delay=0.0, seed=0),
+            sleeper=_no_sleep,
+        )
+        registry = MetricsRegistry()
+        plan = FaultPlan().inject("serve.cache.store", times=None)
+        with metrics_scope(registry), fault_scope(plan):
+            cache.put("key", {"cost": 1})  # must not raise
+        assert cache.get("key") == {"cost": 1}  # memory store still served
+        assert registry.counter("serve.cache.store_failures") == 1
+
+
+# --------------------------------------------------------------------- #
+# admission control
+# --------------------------------------------------------------------- #
+
+
+class TestAdmissionGate:
+    def test_queue_full_shed_is_typed(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0, clock=FakeClock())
+        with pytest.raises(ServiceOverloaded) as err:
+            gate.try_admit(None)
+        assert err.value.reason == "queue_full"
+        assert err.value.retry_after > 0
+
+    def test_deadline_unmeetable_shed_uses_the_ewma(self):
+        gate = AdmissionGate(
+            max_inflight=1, max_queue=8, expected_seconds=10.0,
+            clock=FakeClock(),
+        )
+        with pytest.raises(ServiceOverloaded) as err:
+            gate.try_admit(0.5)
+        assert err.value.reason == "deadline_unmeetable"
+        gate.try_admit(60.0)  # a generous budget is admitted
+
+    def test_enter_timeout_releases_the_reservation(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=8, clock=FakeClock())
+        gate.try_admit(None)
+        assert gate.enter(timeout=None)  # takes the only slot
+        gate.try_admit(None)
+        assert not gate.enter(timeout=0.0)  # no slot; bounded, not a hang
+        assert gate.stats().queued == 0  # the reservation was released
+
+    def test_leave_folds_service_time_into_the_ewma(self):
+        gate = AdmissionGate(
+            max_inflight=1, max_queue=8, expected_seconds=1.0,
+            ewma_alpha=0.5, clock=FakeClock(),
+        )
+        gate.try_admit(None)
+        gate.enter(timeout=None)
+        gate.leave(3.0)
+        assert gate.stats().ewma_seconds == pytest.approx(2.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_cools_down(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_after=10.0, clock=clock
+        )
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(10.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # a second concurrent probe is refused
+        breaker.record_failure()  # the probe failed: reopen
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+# --------------------------------------------------------------------- #
+# the service
+# --------------------------------------------------------------------- #
+
+
+class TestService:
+    def test_happy_path_envelope_and_cache_hit(self):
+        service = _service()
+        first = service.handle(_request())
+        assert first["status"] == "ok"
+        guarantee = first["body"]["guarantee"]
+        assert guarantee["requested_notion"] == "kk"
+        assert guarantee["winner"] == "kk"
+        assert guarantee["degraded"] is False
+        assert first["body"]["result"]["rows"]
+        assert first["meta"]["cache_hit"] is False
+
+        second = service.handle(_request())
+        assert second["meta"]["cache_hit"] is True
+        assert second["body"] == first["body"]
+        assert service.registry.counter("serve.execute.computed") == 1
+
+    def test_bad_payload_is_a_request_error_not_an_exception(self):
+        envelope = _service().handle({"k": "two"})
+        assert envelope["status"] == "error"
+        assert envelope["error"]["kind"] == "request"
+        assert http_status(envelope) == 400
+
+    def test_k_larger_than_table_is_a_request_error(self):
+        envelope = _service().handle(_request(k=100, n=30))
+        assert envelope["status"] == "error"
+        assert envelope["error"]["kind"] == "request"
+
+    def test_degradation_is_reported_never_silent(self):
+        service = _service()
+        plan = FaultPlan().inject("core.kk.couple", times=None)
+        with fault_scope(plan):
+            envelope = service.handle(_request())
+        assert envelope["status"] == "ok"
+        guarantee = envelope["body"]["guarantee"]
+        assert guarantee["degraded"] is True
+        assert guarantee["winner"] == "agglomerative"
+        assert guarantee["requested_notion"] == "kk"
+        attempts = envelope["body"]["fallback"]["attempts"]
+        assert attempts[0] == {"name": "kk", "status": "error"}
+        assert service.registry.counter("serve.degraded") == 1
+
+    def test_transient_faults_are_absorbed_by_retry(self):
+        service = _service()
+        plan = (
+            FaultPlan()
+            .inject("serve.accept", times=1)
+            .inject("serve.enqueue", times=1)
+            .inject("serve.execute", times=1)
+        )
+        with fault_scope(plan):
+            envelope = service.handle(_request())
+        assert envelope["status"] == "ok"
+        assert {site for site, _ in plan.fired} == {
+            "serve.accept", "serve.enqueue", "serve.execute",
+        }
+
+    def test_custom_loader_tables_get_distinct_cache_entries(self):
+        tables = {
+            "flat": _edu_table([]),
+            "grouped": _edu_table([["hs", "college"]]),
+        }
+        service = _service(
+            loader=lambda request: tables[request.dataset]
+        )
+        flat = service.handle(_request(dataset="flat", n=None, notion="k"))
+        grouped = service.handle(
+            _request(dataset="grouped", n=None, notion="k")
+        )
+        assert flat["status"] == grouped["status"] == "ok"
+        assert grouped["meta"]["cache_hit"] is False  # no QI-config collision
+        assert len(service.cache) == 2
+
+    def test_breaker_open_sheds_with_retry_after(self):
+        clock = FakeClock()
+        service = _service(
+            config=ServiceConfig(retry=_FAST_RETRY, breaker_threshold=2),
+            clock=clock,
+        )
+        service.breaker.record_failure()
+        service.breaker.record_failure()
+        envelope = service.handle(_request())
+        assert envelope["status"] == "shed"
+        assert envelope["shed"]["reason"] == "breaker_open"
+        assert envelope["shed"]["retry_after"] > 0
+        assert http_status(envelope) == 429
+
+    def test_unmeetable_deadline_sheds_instead_of_hanging(self):
+        service = _service(
+            config=ServiceConfig(retry=_FAST_RETRY, expected_seconds=10.0),
+        )
+        envelope = service.handle(_request(timeout=0.5))
+        assert envelope["status"] == "shed"
+        assert envelope["shed"]["reason"] == "deadline_unmeetable"
+
+    def test_restart_serves_byte_identical_bodies_with_zero_recompute(
+        self, tmp_path
+    ):
+        journal_path = tmp_path / "cache.jsonl"
+        mix = request_mix(0, 4)
+
+        first = _service(
+            cache=ResultCache(
+                Journal(journal_path), retry=_FAST_RETRY, sleeper=_no_sleep
+            ),
+        )
+        reference = [first.handle(r) for r in mix]
+        assert all(e["status"] == "ok" for e in reference)
+
+        second = _service(
+            cache=ResultCache(
+                Journal(journal_path), retry=_FAST_RETRY, sleeper=_no_sleep
+            ),
+        )
+        assert second.recover() == len(second.cache)
+        assert second.recover() > 0
+        replayed = [second.handle(r) for r in mix]
+        assert [canonical_body(e) for e in replayed] == [
+            canonical_body(e) for e in reference
+        ]
+        assert all(e["meta"]["cache_hit"] for e in replayed)
+        assert second.registry.counter("serve.execute.computed") == 0
+
+    def test_stats_snapshot_shape(self):
+        service = _service()
+        service.handle(_request())
+        stats = service.stats()
+        assert stats["queued"] == 0
+        assert stats["inflight"] == 0
+        assert stats["breaker"] == "closed"
+        assert stats["cached_bodies"] == 1
+
+
+# --------------------------------------------------------------------- #
+# fallback clock injection (no hidden wall-clock reads)
+# --------------------------------------------------------------------- #
+
+
+class TestFallbackClock:
+    def test_rung_timings_come_from_the_injected_clock(self):
+        table = make_random_table(12, seed=3)
+        clock = FakeClock(step=1.0)  # each read advances a full second
+        outcome = run_with_fallback(table, 2, clock=clock)
+        assert outcome.ok
+        # A real clock would time these rungs in microseconds; whole
+        # seconds prove every Timer read went through the fake.
+        assert all(a.seconds >= 1.0 for a in outcome.report.attempts)
+
+
+# --------------------------------------------------------------------- #
+# HTTP transport + chaos drill
+# --------------------------------------------------------------------- #
+
+
+class TestHTTP:
+    @pytest.fixture
+    def server(self):
+        service = _service()
+        server = serve_http(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{server.port}"
+        server.shutdown()
+        server.server_close()
+
+    def _post(self, url, payload):
+        data = json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(
+            url + "/anonymize", data=data, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def test_end_to_end_statuses(self, server):
+        status, envelope = self._post(server, _request())
+        assert status == 200
+        assert envelope["body"]["guarantee"]["k"] == 2
+
+        status, envelope = self._post(server, {"k": -1})
+        assert status == 400
+        assert envelope["error"]["kind"] == "request"
+
+        with urllib.request.urlopen(server + "/healthz", timeout=30) as resp:
+            health = json.loads(resp.read())
+        assert health["breaker"] == "closed"
+        with urllib.request.urlopen(server + "/metricz", timeout=30) as resp:
+            metrics = json.loads(resp.read())
+        assert metrics["counters"]["serve.requests"] == 2
+
+
+class TestChaosDrill:
+    def test_the_drill_passes(self, tmp_path):
+        report = run_chaos_drill(tmp_path / "drill.jsonl")
+        assert report.ok, report.format()
+        assert len(report.checks) >= 8

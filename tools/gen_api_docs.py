@@ -30,6 +30,7 @@ PACKAGES = [
     ("repro.analysis", "Static analysis: lint, dataflow, call graph"),
     ("repro.runtime", "Execution resilience runtime"),
     ("repro.experiments", "Experiment harness"),
+    ("repro.serve", "Anonymization service"),
     ("repro.verify", "Verification & fuzzing harness"),
     ("repro.perf", "Parallel execution & benchmarks"),
 ]

@@ -19,7 +19,12 @@ around :func:`repro.core.api.anonymize`, hardened end to end:
 Run it with ``repro-anon serve``; see docs/serving.md.
 """
 
-from repro.serve.admission import AdmissionGate, CircuitBreaker, GateStats
+from repro.serve.admission import (
+    AdmissionGate,
+    BreakerPermit,
+    CircuitBreaker,
+    GateStats,
+)
 from repro.serve.cache import (
     CACHE_VERSION,
     ResultCache,
@@ -60,6 +65,7 @@ __all__ = [
     "AdmissionGate",
     "AnonymizationService",
     "AnonymizeRequest",
+    "BreakerPermit",
     "CACHE_VERSION",
     "CircuitBreaker",
     "DrillCheck",

@@ -39,6 +39,45 @@ class GateStats:
     ewma_seconds: float  #: smoothed observed service time
 
 
+class BreakerPermit:
+    """One admission through a :class:`CircuitBreaker`, resolved once.
+
+    :meth:`success` / :meth:`failure` record backend evidence;
+    :meth:`release` hands back a half-open probe the request never
+    resolved (it exited before exercising the backend — a cache hit, a
+    shed, invalid input), so the breaker stays half-open and the *next*
+    request can probe.  Resolution is once-only — after the first call
+    the others are no-ops — so callers put ``release()`` in a
+    ``finally`` as a backstop without fear of double-counting.
+    """
+
+    __slots__ = ("_breaker", "is_probe", "_resolved")
+
+    def __init__(self, breaker: "CircuitBreaker", is_probe: bool) -> None:
+        self._breaker = breaker
+        self.is_probe = is_probe  #: whether this permit holds the half-open probe
+        self._resolved = False
+
+    def success(self) -> None:
+        """The backend call succeeded: reclose the breaker."""
+        if not self._resolved:
+            self._resolved = True
+            self._breaker.record_success()
+
+    def failure(self) -> None:
+        """The backend call failed: count it against the breaker."""
+        if not self._resolved:
+            self._resolved = True
+            self._breaker.record_failure()
+
+    def release(self) -> None:
+        """The backend was never exercised: return the probe, if held."""
+        if not self._resolved:
+            self._resolved = True
+            if self.is_probe:
+                self._breaker._release_probe()
+
+
 class CircuitBreaker:
     """Classic closed / open / half-open breaker on an injectable clock.
 
@@ -74,22 +113,43 @@ class CircuitBreaker:
         with self._lock:
             return self._state
 
-    def allow(self) -> bool:
-        """Whether a request may reach the backend right now."""
+    def acquire(self) -> BreakerPermit | None:
+        """Admit a request, or ``None`` while the breaker is open.
+
+        The returned permit must be resolved exactly once on *every*
+        exit path (``success`` / ``failure`` / ``release`` in a
+        ``finally``): an unresolved half-open probe would block all
+        traffic until restart.
+        """
         with self._lock:
-            if self._state == "closed":
-                return True
             if self._state == "open":
                 if self.clock() - self._opened_at >= self.reset_after:
                     self._state = "half-open"
                     self._probing = False
                 else:
-                    return False
-            # half-open: exactly one probe at a time.
-            if self._probing:
-                return False
-            self._probing = True
-            return True
+                    return None
+            if self._state == "half-open":
+                # half-open: exactly one probe at a time.
+                if self._probing:
+                    return None
+                self._probing = True
+                return BreakerPermit(self, is_probe=True)
+            return BreakerPermit(self, is_probe=False)
+
+    def allow(self) -> bool:
+        """Whether a request may reach the backend right now.
+
+        Prefer :meth:`acquire` where the request has multiple exit
+        paths — a half-open probe admitted here can only be resolved by
+        ``record_success`` / ``record_failure``.
+        """
+        return self.acquire() is not None
+
+    def _release_probe(self) -> None:
+        """Return an unresolved half-open probe (permit-only entry point)."""
+        with self._lock:
+            if self._state == "half-open":
+                self._probing = False
 
     def record_success(self) -> None:
         """The backend call succeeded: reclose and reset the count."""
@@ -178,13 +238,18 @@ class AdmissionGate:
         Raises
         ------
         ServiceOverloaded
-            With reason ``queue_full`` when the queue is at capacity,
-            or ``deadline_unmeetable`` when the estimated queueing
-            delay plus one EWMA service time already exceeds
+            With reason ``queue_full`` when every execution slot is
+            busy *and* the queue is at capacity (a free slot always
+            admits, so ``max_queue=0`` means "no waiting", not "no
+            serving"), or ``deadline_unmeetable`` when the estimated
+            queueing delay plus one EWMA service time already exceeds
             ``budget``.
         """
         with self._cond:
-            if self._queued >= self.max_queue:
+            if (
+                self._inflight >= self.max_inflight
+                and self._queued >= self.max_queue
+            ):
                 raise ServiceOverloaded(
                     f"wait queue is full ({self._queued}/{self.max_queue})",
                     reason="queue_full",

@@ -6,7 +6,9 @@ drill and the serve bench all drive it directly):
 
 1. **accept** — parse/validate the payload (fault site ``serve.accept``
    behind seeded retry).
-2. **admit** — circuit breaker, then the bounded
+2. **admit** — circuit breaker (a once-only
+   :class:`~repro.serve.admission.BreakerPermit`, released on every
+   exit path so a half-open probe can never leak), then the bounded
    :class:`~repro.serve.admission.AdmissionGate`; overload yields a
    typed shed envelope, never a hang.
 3. **cache** — fingerprint the loaded table and look up
@@ -61,7 +63,7 @@ from repro.runtime.fallback import (
     run_with_fallback,
 )
 from repro.runtime.retry import RetryPolicy, Sleeper, call_with_retry
-from repro.serve.admission import AdmissionGate, CircuitBreaker
+from repro.serve.admission import AdmissionGate, BreakerPermit, CircuitBreaker
 from repro.serve.cache import ResultCache, cache_key, table_fingerprint
 from repro.serve.protocol import (
     AnonymizeRequest,
@@ -218,6 +220,11 @@ class AnonymizationService:
         except RequestError as exc:
             count("serve.errors.request")
             return error_envelope(None, exc)
+        except ReproError as exc:
+            # e.g. an injected serve.accept fault that survived retry:
+            # still an envelope, never an escaping exception.
+            count("serve.errors.internal")
+            return error_envelope(None, exc)
         request_id = next(self._ids)
         try:
             envelope = self._admit_and_execute(request)
@@ -247,44 +254,58 @@ class AnonymizationService:
             if request.timeout is not None
             else self.config.default_timeout
         )
-        if not self.breaker.allow():
+        permit = self.breaker.acquire()
+        if permit is None:
             raise ServiceOverloaded(
                 "circuit breaker is open after repeated backend failures",
                 reason="breaker_open",
                 retry_after=self.breaker.retry_after(),
             )
-        started = self.clock()
-        with span("serve.admit"):
-            self.gate.try_admit(budget)  # raises the typed shed itself
-
-            def _enter() -> bool:
-                # The fault site fires *before* the slot transition so a
-                # retried attempt never double-claims a slot.
-                checkpoint("serve.enqueue")
-                return self.gate.enter(timeout=budget)
-
-            try:
-                entered = call_with_retry(
-                    _enter, policy=self.config.retry, sleep=self.sleeper
-                )
-            except ReproError:
-                self.gate.cancel()
-                raise
-        if not entered:
-            raise ServiceOverloaded(
-                f"no execution slot freed up within the {budget:.3f}s budget",
-                reason="deadline_unmeetable",
-                retry_after=self.gate.estimated_wait(),
-            )
-        work_timer = Timer(clock=self.clock)
+        # Every exit below must resolve the permit: _execute records
+        # success/failure once the backend has spoken; the finally
+        # returns an unresolved half-open probe (cache hit, shed,
+        # loader/validation failure) so the breaker is never wedged.
         try:
-            with work_timer:
-                remaining = max(0.0, budget - (self.clock() - started))
-                return self._execute(request, remaining)
-        finally:
-            self.gate.leave(work_timer.seconds)
+            started = self.clock()
+            with span("serve.admit"):
+                self.gate.try_admit(budget)  # raises the typed shed itself
 
-    def _execute(self, request: AnonymizeRequest, budget: float) -> dict[str, Any]:
+                def _enter() -> bool:
+                    # The fault site fires *before* the slot transition
+                    # so a retried attempt never double-claims a slot.
+                    checkpoint("serve.enqueue")
+                    return self.gate.enter(timeout=budget)
+
+                try:
+                    entered = call_with_retry(
+                        _enter, policy=self.config.retry, sleep=self.sleeper
+                    )
+                except ReproError:
+                    self.gate.cancel()
+                    raise
+            if not entered:
+                raise ServiceOverloaded(
+                    f"no execution slot freed up within the "
+                    f"{budget:.3f}s budget",
+                    reason="deadline_unmeetable",
+                    retry_after=self.gate.estimated_wait(),
+                )
+            work_timer = Timer(clock=self.clock)
+            try:
+                with work_timer:
+                    remaining = max(0.0, budget - (self.clock() - started))
+                    return self._execute(request, remaining, permit)
+            finally:
+                self.gate.leave(work_timer.seconds)
+        finally:
+            permit.release()
+
+    def _execute(
+        self,
+        request: AnonymizeRequest,
+        budget: float,
+        permit: BreakerPermit,
+    ) -> dict[str, Any]:
         table = self.loader(request)
         if request.k > table.num_records:
             raise RequestError(
@@ -300,26 +321,34 @@ class AnonymizationService:
             return ok_envelope(request, body, cache_hit=True)
 
         chain = chain_for(request.notion)
+        # One deadline spanning every retry attempt: the budget is the
+        # client's, so a retried execution resumes the *remaining*
+        # budget rather than restarting a fresh one per attempt.
+        deadline = Deadline.after(budget, clock=self.clock)
 
         def _run() -> FallbackOutcome:
             checkpoint("serve.execute")
-            with limit_scope(Deadline.after(budget, clock=self.clock)):
+            with limit_scope(deadline):
                 return run_with_fallback(
                     table,
                     request.k,
                     chain=chain,
                     measure=request.measure,
-                    overall_timeout=budget,
+                    overall_timeout=deadline.remaining(),
                     rung_timeout=self.config.rung_timeout,
                     clock=self.clock,
                 )
 
         with span("serve.execute", notion=request.notion, k=request.k):
-            outcome = call_with_retry(
-                _run, policy=self.config.retry, sleep=self.sleeper
-            )
+            try:
+                outcome = call_with_retry(
+                    _run, policy=self.config.retry, sleep=self.sleeper
+                )
+            except ReproError:
+                permit.failure()
+                raise
         if not outcome.ok:
-            self.breaker.record_failure()
+            permit.failure()
             count("serve.exhausted")
             return error_envelope(
                 request,
@@ -329,7 +358,7 @@ class AnonymizationService:
                     report=outcome.report,
                 ),
             )
-        self.breaker.record_success()
+        permit.success()
         count("serve.execute.computed")
         assert outcome.result is not None
         body = build_body(

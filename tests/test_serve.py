@@ -240,10 +240,24 @@ class TestCacheHygiene:
 class TestAdmissionGate:
     def test_queue_full_shed_is_typed(self):
         gate = AdmissionGate(max_inflight=1, max_queue=0, clock=FakeClock())
+        gate.try_admit(None)
+        assert gate.enter(timeout=None)  # occupy the only slot
         with pytest.raises(ServiceOverloaded) as err:
             gate.try_admit(None)
         assert err.value.reason == "queue_full"
         assert err.value.retry_after > 0
+
+    def test_zero_queue_still_serves_while_slots_are_free(self):
+        # max_queue=0 means "no waiting", not "no serving": a free
+        # execution slot admits regardless of queue capacity.
+        gate = AdmissionGate(max_inflight=2, max_queue=0, clock=FakeClock())
+        gate.try_admit(None)
+        assert gate.enter(timeout=None)
+        gate.try_admit(None)  # second slot still free
+        assert gate.enter(timeout=None)
+        with pytest.raises(ServiceOverloaded) as err:
+            gate.try_admit(None)  # both slots busy, nowhere to wait
+        assert err.value.reason == "queue_full"
 
     def test_deadline_unmeetable_shed_uses_the_ewma(self):
         gate = AdmissionGate(
@@ -304,6 +318,33 @@ class TestCircuitBreaker:
         assert breaker.allow()
         breaker.record_success()
         assert breaker.state == "closed"
+
+    def test_released_probe_is_available_to_the_next_request(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        permit = breaker.acquire()
+        assert permit is not None and permit.is_probe
+        assert breaker.acquire() is None  # the probe is held
+        permit.release()  # request exited without touching the backend
+        assert breaker.state == "half-open"
+        again = breaker.acquire()  # NOT wedged: the probe is free again
+        assert again is not None and again.is_probe
+        again.failure()
+        assert breaker.state == "open"
+
+    def test_permit_resolution_is_once_only(self):
+        breaker = CircuitBreaker(failure_threshold=1, clock=FakeClock())
+        permit = breaker.acquire()
+        assert permit is not None and not permit.is_probe
+        permit.failure()  # trips (threshold 1)
+        assert breaker.state == "open"
+        permit.success()  # no-op: already resolved
+        permit.release()  # no-op: already resolved
+        assert breaker.state == "open"
 
 
 # --------------------------------------------------------------------- #
@@ -397,6 +438,68 @@ class TestService:
         assert envelope["shed"]["reason"] == "breaker_open"
         assert envelope["shed"]["retry_after"] > 0
         assert http_status(envelope) == 429
+
+    def test_half_open_probe_survives_cache_hits_and_bad_requests(self):
+        # Regression: a request that claims the half-open probe but
+        # exits before exercising the backend (cache hit, invalid
+        # input) must hand the probe back — a leaked probe sheds every
+        # later request as breaker_open until restart.
+        clock = FakeClock()
+        service = _service(
+            config=ServiceConfig(retry=_FAST_RETRY, breaker_threshold=1),
+            clock=clock,
+        )
+        primed = service.handle(_request())
+        assert primed["status"] == "ok"
+        service.breaker.record_failure()  # trips (threshold 1)
+        assert service.breaker.state == "open"
+        clock.advance(service.config.breaker_reset)
+
+        hit = service.handle(_request())  # claims the probe, cache-hits
+        assert hit["status"] == "ok" and hit["meta"]["cache_hit"]
+        assert service.breaker.state == "half-open"
+
+        bad = service.handle(_request(k=100))  # claims the probe, k > n
+        assert bad["status"] == "error"
+        assert bad["error"]["kind"] == "request"
+        assert service.breaker.state == "half-open"
+
+        fresh = service.handle(_request(k=3))  # the probe finally computes
+        assert fresh["status"] == "ok"
+        assert service.breaker.state == "closed"
+
+    def test_accept_fault_exhaustion_is_an_envelope_not_an_exception(self):
+        service = _service()
+        plan = FaultPlan().inject("serve.accept", times=None)
+        with fault_scope(plan):
+            envelope = service.handle(_request())
+        assert envelope["status"] == "error"
+        assert http_status(envelope) == 500
+
+    def test_retries_share_the_request_deadline(self):
+        # Regression: each retry attempt must resume the *remaining*
+        # client budget, not restart a fresh per-attempt deadline —
+        # otherwise a faulty backend can hold a request for
+        # attempts × budget.
+        clock = FakeClock()
+
+        def burning_sleeper(_seconds: float) -> None:
+            clock.advance(10.0)  # one backoff overshoots the whole budget
+
+        service = _service(
+            config=ServiceConfig(
+                retry=RetryPolicy(attempts=3, base_delay=0.01, seed=0)
+            ),
+            clock=clock,
+            sleeper=burning_sleeper,
+        )
+        plan = FaultPlan().inject("serve.execute", times=1)
+        with fault_scope(plan):
+            envelope = service.handle(_request(timeout=5.0))
+        # The retried attempt sees the budget already spent, so every
+        # rung is skipped instead of running past the SLO.
+        assert envelope["status"] == "error"
+        assert envelope["error"]["kind"] == "exhausted"
 
     def test_unmeetable_deadline_sheds_instead_of_hanging(self):
         service = _service(

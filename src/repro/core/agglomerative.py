@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backend import resolve_backend
 from repro.core.clustering import Clustering
 from repro.core.distances import ClusterDistance
 from repro.errors import AnonymityError
@@ -27,11 +28,32 @@ from repro.runtime import checkpoint
 
 
 class _Engine:
-    """Mutable state for one run of Algorithm 1/2."""
+    """Mutable state for one run of Algorithm 1/2.
+
+    Subclass seam: :class:`repro.core.columnar._ColumnarEngine` inherits
+    the merge loop, shrink step and leftover distribution unchanged and
+    overrides only the distance bookkeeping (``_init_distances``,
+    ``_refresh_row``, ``_rescan_row``, ``_deactivate``, ``_pair_value``)
+    with a matrix-free bucketed scheme that reproduces this engine's
+    ``row_min``/``row_arg`` state — and therefore its merge sequence —
+    bit for bit.
+    """
 
     def __init__(self, model: CostModel, distance: ClusterDistance, k: int) -> None:
+        self._init_slots(model, distance, k)
+        self._init_distances()
+
+    def _init_slots(
+        self, model: CostModel, distance: ClusterDistance, k: int
+    ) -> None:
+        """Allocate the per-slot cluster state shared by all backends.
+
+        Split from ``__init__`` so benchmarks (and the columnar
+        subclass) can build an engine at an arbitrary prepared state
+        without paying for the dense all-pairs initialization.
+        """
         enc = model.enc
-        n, r = enc.num_records, enc.num_attributes
+        n = enc.num_records
         self.enc = enc
         self.model = model
         self.distance = distance
@@ -47,7 +69,6 @@ class _Engine:
         self.active = np.ones(n, dtype=bool)
         self.free_slots: list[int] = []
 
-        self.matrix = np.full((n, n), np.inf, dtype=np.float64)
         self.row_min = np.full(n, np.inf, dtype=np.float64)
         self.row_arg = np.zeros(n, dtype=np.int64)
 
@@ -62,13 +83,11 @@ class _Engine:
         self.stat_shrink_candidates = 0
         self.stat_expelled = 0
 
-        self._init_matrix()
-
     # ------------------------------------------------------------------ #
     # distance bookkeeping
     # ------------------------------------------------------------------ #
 
-    def _init_matrix(self) -> None:
+    def _init_distances(self) -> None:
         """All-pairs singleton distances, one broadcast per attribute."""
         enc, model = self.enc, self.model
         n = enc.num_records
@@ -157,6 +176,11 @@ class _Engine:
         self.row_min[x] = row.min()
         self.row_arg[x] = int(row.argmin())
 
+    def _pair_value(self, x: int, y: int) -> float:
+        """The currently-recorded distance of the pair ``(x, y)`` — the
+        value ``_pop_closest_pair`` validates a cached minimum against."""
+        return float(self.matrix[x, y])
+
     def _pop_closest_pair(self) -> tuple[int, int] | None:
         """The true closest active pair, via lazy staleness validation.
 
@@ -175,7 +199,7 @@ class _Engine:
             if not np.isfinite(best):
                 return None
             y = int(self.row_arg[x])
-            if self.active[y] and self.matrix[x, y] == best:
+            if self.active[y] and self._pair_value(x, y) == best:
                 return x, y
             self.stat_rescans += 1
             self._rescan_row(x)
@@ -368,6 +392,7 @@ def agglomerative_clustering(
     k: int,
     distance: ClusterDistance,
     modified: bool = False,
+    backend: str | None = None,
 ) -> Clustering:
     """Run Algorithm 1 (or, with ``modified=True``, Algorithm 1+2).
 
@@ -382,6 +407,13 @@ def agglomerative_clustering(
     modified:
         Apply the Algorithm 2 shrink step to ripe clusters, keeping all
         final clusters at size exactly k where possible.
+    backend:
+        Execution backend (:data:`repro.core.backend.BACKENDS`):
+        ``"python"`` runs the dense-matrix reference engine,
+        ``"columnar"`` the bucketed matrix-free engine of
+        :mod:`repro.core.columnar`.  Both produce bit-identical
+        clusterings (same merge sequence, same tie-breaking); ``None``
+        resolves via :func:`repro.core.backend.resolve_backend`.
 
     Returns
     -------
@@ -400,7 +432,12 @@ def agglomerative_clustering(
     if k <= 1:
         # Trivial: every record is its own cluster, nothing is generalized.
         return Clustering(n, [[i] for i in range(n)])
-    # The O(n²) all-pairs matrix is one vectorized sweep; checkpoint
-    # before committing to it so a spent deadline fails fast.
+    # The O(n²) all-pairs matrix (resp. the O(u²) bucket fill) is one
+    # vectorized sweep; checkpoint before committing to it so a spent
+    # deadline fails fast.
     checkpoint("core.agglomerative.init")
+    if resolve_backend(backend) == "columnar":
+        from repro.core.columnar import _ColumnarEngine
+
+        return _ColumnarEngine(model, distance, k).run(modified)
     return _Engine(model, distance, k).run(modified)

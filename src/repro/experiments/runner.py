@@ -317,7 +317,11 @@ class ExperimentRunner:
         def go():
             model = self.model(dataset, measure)
             clustering = agglomerative_clustering(
-                model, k, get_distance(distance), modified=modified
+                model,
+                k,
+                get_distance(distance),
+                modified=modified,
+                backend=self.config.backend,
             )
             nodes = clustering_to_nodes(model.enc, clustering)
             return model.table_cost(nodes), {
@@ -354,7 +358,13 @@ class ExperimentRunner:
 
         def go():
             model = self.model(dataset, measure)
-            nodes = kk_anonymize(model, k, expander=expander, join_with=join_with)
+            nodes = kk_anonymize(
+                model,
+                k,
+                expander=expander,
+                join_with=join_with,
+                backend=self.config.backend,
+            )
             return model.table_cost(nodes), {}
 
         key = RunKey(
@@ -369,7 +379,9 @@ class ExperimentRunner:
 
         def go():
             model = self.model(dataset, measure)
-            kk_nodes = kk_anonymize(model, k, expander=expander)
+            kk_nodes = kk_anonymize(
+                model, k, expander=expander, backend=self.config.backend
+            )
             kk_cost = model.table_cost(kk_nodes)
             nodes, stats = global_one_k_anonymize(model, kk_nodes, k)
             return model.table_cost(nodes), {

@@ -39,6 +39,7 @@ from repro.perf.compare import (
 )
 from repro.perf.equivalence import (
     canonical_journal_entries,
+    check_backend_equivalence,
     check_parallel_equivalence,
 )
 from repro.perf.parallel import ParallelStats, run_parallel
@@ -53,6 +54,7 @@ __all__ = [
     "ComparisonFinding",
     "ParallelStats",
     "canonical_journal_entries",
+    "check_backend_equivalence",
     "check_parallel_equivalence",
     "compare_reports",
     "default_cases",

@@ -190,7 +190,12 @@ def _suppress_all(
 
 
 def _run_rung(
-    rung: Rung, table: Table, k: int, measure: str, enc: EncodedTable
+    rung: Rung,
+    table: Table,
+    k: int,
+    measure: str,
+    enc: EncodedTable,
+    backend: str | None = None,
 ) -> AnonymizationResult:
     if rung.algorithm == "suppress":
         return _suppress_all(table, k, measure, enc)
@@ -204,6 +209,7 @@ def _run_rung(
         modified=rung.modified,
         expander=rung.expander,
         encoded=enc,
+        backend=backend,
     )
 
 
@@ -217,6 +223,7 @@ def run_with_fallback(
     rung_timeout: float | None = None,
     clock: Clock = time.monotonic,
     encoded: EncodedTable | None = None,
+    backend: str | None = None,
 ) -> FallbackOutcome:
     """Execute a degradation chain until one rung yields a valid result.
 
@@ -239,6 +246,11 @@ def run_with_fallback(
         Injectable monotonic clock (tests use a fake).
     encoded:
         Optional pre-built encoding of ``table`` to reuse.
+    backend:
+        Execution backend forwarded to every rung's
+        :func:`~repro.core.api.anonymize` call.  Backends are
+        bit-equivalent, so the winning rung, its result and the report
+        are backend-independent; only speed changes.
 
     Returns
     -------
@@ -279,7 +291,7 @@ def run_with_fallback(
             with timer, limit_scope(*limits), span(
                 "runtime.fallback.rung", rung=rung.name
             ):
-                result = _run_rung(rung, table, k, measure, enc)
+                result = _run_rung(rung, table, k, measure, enc, backend)
         except DeadlineExceeded as exc:
             record(
                 RungAttempt(

@@ -24,6 +24,7 @@ from repro.tabular.attribute import Attribute, integer_attribute
 from repro.tabular.encoding import EncodedTable
 from repro.tabular.hierarchy import SubsetCollection, interval_hierarchy
 from repro.tabular.table import Schema, Table
+from repro.core.backend import BACKENDS
 from repro.verify.differential import REGISTRY
 from repro.verify.generators import InstanceConfig
 
@@ -171,7 +172,7 @@ class TestDeepHierarchy:
         assert coll.closure_of_values(["v0", "v5"]) == coll.full_node
 
 
-def _config(k, measure="entropy"):
+def _config(k, measure="entropy", backend="python"):
     return InstanceConfig(
         seed=0,
         k=k,
@@ -180,6 +181,7 @@ def _config(k, measure="entropy"):
         distance="d2",
         expander="nearest",
         modified=False,
+        backend=backend,
     )
 
 
@@ -187,6 +189,11 @@ def _spec_params():
     return pytest.mark.parametrize(
         "spec", REGISTRY, ids=[s.name for s in REGISTRY]
     )
+
+
+#: The degenerate matrix runs under every backend: off-by-one bugs in
+#: the bucketed engine hide exactly in these shapes.
+_backend_params = pytest.mark.parametrize("backend", BACKENDS)
 
 
 class TestDegenerateAcrossRegistry:
@@ -208,46 +215,57 @@ class TestDegenerateAcrossRegistry:
         ]
         return Table(schema, rows)
 
-    def _run(self, spec, table, k, measure="entropy"):
+    def _run(self, spec, table, k, measure="entropy", backend="python"):
         model = CostModel(EncodedTable(table), EntropyMeasure())
-        return model, spec.run(model, _config(k, measure))
+        return model, spec.run(model, _config(k, measure, backend))
 
+    @_backend_params
     @_spec_params()
-    def test_k_equals_one(self, spec, small_table):
-        model, out = self._run(spec, small_table, k=1)
+    def test_k_equals_one(self, spec, small_table, backend):
+        model, out = self._run(spec, small_table, k=1, backend=backend)
         assert satisfies(model.enc, out.nodes, spec.notion, 1)
 
+    @_backend_params
     @_spec_params()
-    def test_k_equals_n(self, spec, small_table):
+    def test_k_equals_n(self, spec, small_table, backend):
         n = small_table.num_records
-        model, out = self._run(spec, small_table, k=n)
+        model, out = self._run(spec, small_table, k=n, backend=backend)
         assert satisfies(model.enc, out.nodes, spec.notion, n)
 
+    @_backend_params
     @_spec_params()
-    def test_k_above_n_raises_anonymity_error(self, spec, small_table):
+    def test_k_above_n_raises_anonymity_error(self, spec, small_table, backend):
         with pytest.raises(AnonymityError):
-            self._run(spec, small_table, k=small_table.num_records + 1)
+            self._run(
+                spec, small_table, k=small_table.num_records + 1,
+                backend=backend,
+            )
 
+    @_backend_params
     @_spec_params()
-    def test_empty_table_raises_repro_error(self, spec, small_table):
+    def test_empty_table_raises_repro_error(self, spec, small_table, backend):
         empty = Table(small_table.schema, [])
         with pytest.raises(ReproError):
-            self._run(spec, empty, k=1)
+            self._run(spec, empty, k=1, backend=backend)
 
+    @_backend_params
     @_spec_params()
-    def test_single_attribute_table(self, spec):
+    def test_single_attribute_table(self, spec, backend):
         att = Attribute("a", ["x", "y", "z"])
         table = Table(
             Schema([SubsetCollection(att)]),
             [("x",), ("y",), ("z",), ("x",), ("y",), ("x",)],
         )
-        model, out = self._run(spec, table, k=2)
+        model, out = self._run(spec, table, k=2, backend=backend)
         assert satisfies(model.enc, out.nodes, spec.notion, 2)
 
+    @_backend_params
     @_spec_params()
-    def test_all_duplicate_rows_cost_zero(self, spec, identical_rows_table):
+    def test_all_duplicate_rows_cost_zero(
+        self, spec, identical_rows_table, backend
+    ):
         n = identical_rows_table.num_records
-        model, out = self._run(spec, identical_rows_table, k=n)
+        model, out = self._run(spec, identical_rows_table, k=n, backend=backend)
         assert satisfies(model.enc, out.nodes, spec.notion, n)
         assert model.table_cost(out.nodes) == pytest.approx(0.0)
 

@@ -32,6 +32,7 @@ from repro.measures.entropy import (
 )
 from repro.perf import (
     canonical_journal_entries,
+    check_backend_equivalence,
     check_parallel_equivalence,
     compare_reports,
     default_cases,
@@ -241,7 +242,15 @@ class TestBench:
         assert pairs == {
             "entropy-node-costs", "entropy-entry-costs",
             "agglomerative-shrink", "closure-memo",
+            "agglomerative-candidate-scan-n2000",
         }
+        # the full tier swaps the scan pair to the floor-enforced size
+        # and adds the columnar-only scale grid
+        full = default_cases(quick=False)
+        full_pairs = {c.pair for c in full if c.pair}
+        assert "agglomerative-candidate-scan-n10000" in full_pairs
+        scale = [c for c in full if c.group == "scale"]
+        assert {c.n for c in scale} == {10_000, 50_000, 100_000}
         # every pair has both roles, so every speedup gets derived
         for pair in pairs:
             roles = {c.role for c in cases if c.pair == pair}
@@ -336,8 +345,10 @@ class TestCommittedBaseline:
         speedups = {p["name"]: p["speedup"] for p in baseline.pairs}
         for name, floor in MIN_PAIR_SPEEDUPS.items():
             assert speedups[name] >= floor, (name, speedups[name], floor)
-        # the headline acceptance criterion: a >=1.5x hot-path win
+        # the headline acceptance criteria: a >=1.5x hot-path win and
+        # the columnar candidate scan's enforced floor at n=10k
         assert max(speedups.values()) >= 1.5
+        assert MIN_PAIR_SPEEDUPS["agglomerative-candidate-scan-n10000"] >= 5.0
 
 
 # --------------------------------------------------------------------- #
@@ -588,3 +599,68 @@ class TestHotPathIdentity:
             assert engine._shrink(list(members)) == (
                 engine._shrink_scan(list(members))
             ), measure
+
+
+# --------------------------------------------------------------------- #
+# backend equivalence
+# --------------------------------------------------------------------- #
+
+
+class TestBackendEquivalence:
+    """Columnar and python runs must leave byte-identical canonical
+    journals — the strongest statement possible, since the journal
+    identity itself carries no backend."""
+
+    def test_small_grid_is_equivalent(self):
+        assert check_backend_equivalence(SMALL) == []
+
+    def test_monotone_measure_grid_is_equivalent(self):
+        config = ExperimentConfig(
+            sizes={"art": 36, "adult": 36, "cmc": 36},
+            ks=(2, 4),
+            datasets=("art",),
+            measures=("lm",),
+        )
+        assert check_backend_equivalence(config) == []
+
+    def test_divergence_is_reported(self, monkeypatch):
+        """A corrupted pruning bound must surface as violations — the
+        journal comparison cannot pass vacuously."""
+        import repro.core.columnar as columnar
+
+        monkeypatch.setattr(
+            columnar._ColumnarEngine, "prune_min_buckets", 0
+        )
+        monkeypatch.setattr(
+            columnar,
+            "union_cost_lower_bound",
+            lambda model, ca, cb: np.maximum(ca, cb) + 0.5,
+        )
+        config = ExperimentConfig(
+            sizes={"art": 36, "adult": 36, "cmc": 36},
+            ks=(3,),
+            datasets=("art",),
+            measures=("lm",),
+        )
+        violations = check_backend_equivalence(config)
+        assert violations
+        assert all(v.invariant.startswith("perf.backend") for v in violations)
+
+    @pytest.mark.slow
+    def test_ten_thousand_record_grid(self):
+        """The acceptance-grid point: both backends agree bitwise on a
+        10k-record agglomerative run (the scale the dense matrix can
+        still afford; 50k/100k are columnar-only scale cases)."""
+        from repro.core.api import anonymize
+
+        table = load("art", n=10_000, seed=0)
+        results = {
+            backend: anonymize(
+                table, k=10, notion="k", measure="lm",
+                algorithm="agglomerative", distance="d3", backend=backend,
+            )
+            for backend in ("python", "columnar")
+        }
+        ref, col = results["python"], results["columnar"]
+        assert np.array_equal(ref.node_matrix, col.node_matrix)
+        assert ref.cost == col.cost

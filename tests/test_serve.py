@@ -613,3 +613,53 @@ class TestChaosDrill:
         report = run_chaos_drill(tmp_path / "drill.jsonl")
         assert report.ok, report.format()
         assert len(report.checks) >= 8
+
+
+class TestBackendPurity:
+    """Backends are an execution detail: bodies, cache keys and the
+    echoed request must be byte-identical across them, with the
+    resolved backend reported only in the volatile ``meta`` block."""
+
+    def test_bodies_byte_identical_across_backends(self):
+        envelopes = {
+            backend: _service().handle(_request(backend=backend))
+            for backend in ("python", "columnar")
+        }
+        py, col = envelopes["python"], envelopes["columnar"]
+        assert py["status"] == col["status"] == "ok"
+        assert canonical_body(py) == canonical_body(col)
+        assert py["request"] == col["request"]
+        assert "backend" not in py["request"]
+        assert py["meta"]["backend"] == "python"
+        assert col["meta"]["backend"] == "columnar"
+
+    def test_backends_share_one_cache_entry(self):
+        service = _service()
+        first = service.handle(_request(backend="python"))
+        assert first["meta"]["cache_hit"] is False
+        second = service.handle(_request(backend="columnar"))
+        assert second["meta"]["cache_hit"] is True
+        assert second["body"] == first["body"]
+        assert second["meta"]["backend"] == "columnar"
+        assert service.registry.counter("serve.execute.computed") == 1
+
+    def test_backend_appears_nowhere_but_meta(self):
+        envelope = _service().handle(_request(backend="columnar"))
+        stripped = dict(envelope)
+        del stripped["meta"]
+        assert "columnar" not in json.dumps(stripped)
+        assert envelope["meta"]["backend"] == "columnar"
+
+    def test_unknown_backend_is_a_request_error(self):
+        with pytest.raises(RequestError, match="unknown backend"):
+            AnonymizeRequest.from_json({"k": 2, "backend": "gpu"})
+        envelope = _service().handle(_request(backend="gpu"))
+        assert envelope["status"] == "error"
+        assert envelope["error"]["kind"] == "request"
+
+    def test_to_json_excludes_backend(self):
+        request = AnonymizeRequest.from_json(
+            {"k": 2, "n": 30, "backend": "columnar"}
+        )
+        assert request.backend == "columnar"
+        assert "backend" not in request.to_json()

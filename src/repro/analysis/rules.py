@@ -950,6 +950,160 @@ class RawConcurrencyPrimitive(Rule):
                 )
 
 
+# --------------------------------------------------------------------- #
+# REP015 — metric/span names outside the repro.obs.names registry
+# --------------------------------------------------------------------- #
+
+#: The module-level instrumentation helpers whose first argument is a
+#: metric name.  Both the facade (``repro.obs``) and the defining
+#: module spellings are matched.
+_METRIC_HELPERS = {
+    "repro.obs.count",
+    "repro.obs.gauge",
+    "repro.obs.observe",
+    "repro.obs.metrics.count",
+    "repro.obs.metrics.gauge",
+    "repro.obs.metrics.observe",
+}
+
+#: Span-opening helpers whose first argument is a span name.
+_SPAN_HELPERS = {
+    "repro.obs.span",
+    "repro.obs.tracer.span",
+}
+
+#: Registry methods whose *literal* first arguments are also checked
+#: (receiver types are unknown statically, so dynamic first arguments
+#: on methods are left alone).
+_METRIC_METHODS = {"inc", "set_gauge"}
+
+
+def _string_literals(node: ast.expr) -> list[ast.expr] | None:
+    """Flatten a name expression into its string-bearing leaves.
+
+    Returns the ``Constant``/``JoinedStr`` leaves of the expression
+    (descending through ``IfExp`` arms, the one conditional shape the
+    instrumented code uses), or ``None`` when any leaf is something
+    else — i.e. the name is dynamic.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node]
+    if isinstance(node, ast.JoinedStr):
+        return [node]
+    if isinstance(node, ast.IfExp):
+        body = _string_literals(node.body)
+        orelse = _string_literals(node.orelse)
+        if body is None or orelse is None:
+            return None
+        return body + orelse
+    return None
+
+
+def _fstring_prefix(node: ast.JoinedStr) -> str:
+    """The leading constant text of an f-string (may be empty)."""
+    prefix = ""
+    for part in node.values:
+        if isinstance(part, ast.Constant) and isinstance(part.value, str):
+            prefix += part.value
+        else:
+            break
+    return prefix
+
+
+class UnregisteredMetricName(Rule):
+    """REP015: a metric/span name not registered in ``repro.obs.names``.
+
+    Telemetry names are stringly-typed contracts: dashboards, the SLO
+    objectives, the Prometheus exposition and the window snapshots all
+    key on them, so a typo'd or ad-hoc name silently severs the series.
+    Every name passed to ``count``/``gauge``/``observe``/``span`` (and
+    to literal ``inc``/``set_gauge`` method calls) must be a literal
+    found in :data:`repro.obs.names.METRIC_NAMES` /
+    :data:`~repro.obs.names.SPAN_NAMES`.  The one sanctioned dynamic
+    shape is an f-string whose literal prefix is registered in
+    :data:`~repro.obs.names.DYNAMIC_METRIC_PREFIXES` (status/reason
+    families like ``serve.status.*``).  Anything computed — a variable,
+    a concatenation — is flagged; reviewed exceptions go in the
+    baseline with a reason.
+    """
+
+    rule_id = "REP015"
+    summary = "metric/span name is not a registered literal from repro.obs.names"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        from repro.obs.names import (
+            DYNAMIC_METRIC_PREFIXES,
+            is_registered_metric,
+            is_registered_span,
+        )
+
+        aliases = _module_aliases(ctx.tree, "repro.obs")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            target = _resolve_dotted(aliases, node.func)
+            if target in _METRIC_HELPERS:
+                kind = "metric"
+            elif target in _SPAN_HELPERS:
+                kind = "span"
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+                and _string_literals(node.args[0]) is not None
+            ):
+                kind = "metric"
+            else:
+                continue
+            label = _dotted(node.func) or "?"
+            name_arg = node.args[0]
+            leaves = _string_literals(name_arg)
+            if leaves is None:
+                yield Finding(
+                    ctx.rel,
+                    name_arg.lineno,
+                    name_arg.col_offset,
+                    self.rule_id,
+                    f"dynamic {kind} name passed to '{label}()'; names "
+                    "must be literals from repro.obs.names (or an "
+                    "f-string on a registered dynamic prefix)",
+                )
+                continue
+            for leaf in leaves:
+                if isinstance(leaf, ast.JoinedStr):
+                    prefix = _fstring_prefix(leaf)
+                    if kind == "span" or not any(
+                        prefix.startswith(p)
+                        for p in DYNAMIC_METRIC_PREFIXES
+                    ):
+                        yield Finding(
+                            ctx.rel,
+                            leaf.lineno,
+                            leaf.col_offset,
+                            self.rule_id,
+                            f"f-string {kind} name in '{label}()' does "
+                            f"not start with a registered dynamic "
+                            f"prefix (got '{prefix}'); register the "
+                            "family in repro.obs.names",
+                        )
+                    continue
+                name = leaf.value  # type: ignore[attr-defined]
+                registered = (
+                    is_registered_span(name)
+                    if kind == "span"
+                    else is_registered_metric(name)
+                )
+                if not registered:
+                    yield Finding(
+                        ctx.rel,
+                        leaf.lineno,
+                        leaf.col_offset,
+                        self.rule_id,
+                        f"{kind} name '{name}' is not registered in "
+                        "repro.obs.names; add it to the registry so "
+                        "dashboards and SLOs can rely on the series",
+                    )
+
+
 #: Every module/project rule, in rule-id order.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -962,6 +1116,7 @@ ALL_RULES: tuple[Rule, ...] = (
     RawTimerCall(),
     BarePrint(),
     RawConcurrencyPrimitive(),
+    UnregisteredMetricName(),
 )
 
 #: rule id -> one-line summary, for ``--select`` validation and docs.

@@ -27,11 +27,17 @@ Subcommands
 * ``trace`` — work with span traces written by ``experiment --trace``:
   ``convert`` to Chrome ``trace_event`` JSON (chrome://tracing,
   Perfetto), ``summarize`` to a per-phase time/work table.
+* ``obs`` — work with observability artifacts (``docs/observability.md``):
+  ``summarize`` renders any combination of a span trace, a metrics
+  snapshot (v1 cumulative or v2 windowed) and a flight-recorder dump;
+  ``export`` converts a snapshot JSON to the Prometheus text
+  exposition; ``tail`` prints the last records of an ``OBS_*.jsonl``
+  snapshot journal (or any tolerant JSONL artifact).
 * ``fuzz`` — run the property-fuzzing and differential-verification
   harness (:mod:`repro.verify`) on random seeded instances; on failure
   prints a replay command that reproduces the case deterministically.
 * ``lint`` — run the domain-aware static analysis
-  (:mod:`repro.analysis`): the REP001–REP014 rule catalogue plus the
+  (:mod:`repro.analysis`): the REP001–REP015 rule catalogue plus the
   import-layering DAG check, with inline suppressions and a committed
   baseline ratchet.
 * ``serve`` — run the fault-hardened anonymization HTTP service
@@ -39,7 +45,9 @@ Subcommands
   typed load shedding, per-request deadlines, a circuit breaker over
   the degradation chain, and a crash-safe result cache journal so a
   killed server restarts with zero recomputation
-  (``docs/serving.md``).
+  (``docs/serving.md``).  ``--live-telemetry`` adds sliding-window
+  metrics (``/metricz?window=N``), SLO burn-rate monitors on
+  ``/healthz`` and a flight recorder on ``/debugz``.
 
 Examples
 --------
@@ -216,6 +224,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSON snapshot of work-unit counters/histograms "
         "(written even when the run hits --timeout)",
     )
+    exp.add_argument(
+        "--obs-journal",
+        metavar="PATH",
+        help="append the run's metrics snapshot as one record to an "
+        "OBS_*.jsonl snapshot journal (implies metrics collection)",
+    )
 
     trace_cmd = sub.add_parser(
         "trace",
@@ -298,6 +312,63 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect work-unit metrics during the suite and embed the "
         "snapshot in the report (schema repro.perf.bench/2)",
+    )
+    bench_cmd.add_argument(
+        "--obs-journal",
+        metavar="PATH",
+        help="append the run (stamp, case medians, metrics snapshot) "
+        "as one record to an OBS_*.jsonl snapshot journal",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="summarize, export or tail observability artifacts "
+        "(traces, metrics snapshots, flight dumps, OBS journals)",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_summarize = obs_sub.add_parser(
+        "summarize",
+        help="render traces / metrics snapshots / flight dumps as one "
+        "report",
+    )
+    obs_summarize.add_argument(
+        "--trace", metavar="PATH", help="span trace JSONL file"
+    )
+    obs_summarize.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="metrics snapshot JSON (v1 cumulative or v2 windowed)",
+    )
+    obs_summarize.add_argument(
+        "--flight",
+        metavar="PATH",
+        help="flight-recorder dump JSON (from /debugz or a breach dump)",
+    )
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="convert a metrics snapshot JSON to Prometheus text "
+        "exposition",
+    )
+    obs_export.add_argument("snapshot", help="metrics snapshot JSON file")
+    obs_export.add_argument(
+        "--out", help="write the text exposition here (default: stdout)"
+    )
+    obs_tail = obs_sub.add_parser(
+        "tail",
+        help="print the last records of an OBS_*.jsonl snapshot journal",
+    )
+    obs_tail.add_argument("journal", help="OBS_*.jsonl journal path")
+    obs_tail.add_argument(
+        "-n",
+        "--records",
+        type=_nonnegative_int,
+        default=10,
+        help="records to show (default 10)",
+    )
+    obs_tail.add_argument(
+        "--raw",
+        action="store_true",
+        help="print full JSON records instead of one summary line each",
     )
 
     fuzz_cmd = sub.add_parser(
@@ -449,6 +520,39 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record per-request span traces (JSONL); convert with "
         "'repro-anon trace convert'",
+    )
+    serve_cmd.add_argument(
+        "--live-telemetry",
+        action="store_true",
+        help="enable sliding-window telemetry: /metricz?window=N, SLO "
+        "burn-rate monitors on /healthz, flight recorder on /debugz",
+    )
+    serve_cmd.add_argument(
+        "--slo-advisory",
+        action="store_true",
+        help="let SLO breaches advise the admission gate and circuit "
+        "breaker (tighter shedding under confirmed burn; implies "
+        "--live-telemetry)",
+    )
+    serve_cmd.add_argument(
+        "--flight-journal",
+        metavar="PATH",
+        help="write an atomic flight-recorder dump here on the first "
+        "SLO breach edge (implies --live-telemetry)",
+    )
+    serve_cmd.add_argument(
+        "--window-bucket",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="window-bucket resolution for live telemetry (default 1)",
+    )
+    serve_cmd.add_argument(
+        "--window-horizon",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="how far back /metricz?window may reach (default 300)",
     )
     return parser
 
@@ -670,7 +774,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         name_filter=args.name_filter,
         on_case=progress,
-        collect_metrics=args.metrics,
+        collect_metrics=bool(args.metrics or args.obs_journal),
     )
     for pair in report.pairs:
         print(f"  speedup {pair['name']:28s} {pair['speedup']:.2f}x")
@@ -684,6 +788,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             out = out / f"BENCH_{report.stamp}.json"
         report.write(out)
         print(f"report written to {out}")
+    if args.obs_journal:
+        report.obs_record(args.obs_journal)
+        print(f"obs record appended to {args.obs_journal}")
 
     if args.no_compare:
         return 0
@@ -730,7 +837,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.resume:
         print(f"resumed {runner.resumed_cells} finished cells from {args.journal}")
     limits = [Deadline.after(args.timeout)] if args.timeout is not None else []
-    registry = MetricsRegistry() if args.metrics else None
+    registry = (
+        MetricsRegistry() if (args.metrics or args.obs_journal) else None
+    )
     try:
         with ExitStack() as scopes:
             if args.trace:
@@ -751,16 +860,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     finally:
         # Write the snapshot even when a deadline aborts the run: the
         # partial counters say where the time went before the cutoff.
-        if registry is not None:
+        if registry is not None and args.metrics:
             atomic_write_text(
                 args.metrics,
                 json.dumps(registry.snapshot(), indent=2, sort_keys=True)
                 + "\n",
             )
+        if registry is not None and args.obs_journal:
+            from repro.obs import append_obs_record
+            from repro.perf.bench import default_stamp
+
+            append_obs_record(
+                args.obs_journal,
+                kind="experiment",
+                stamp=default_stamp(),
+                snapshot=registry.snapshot(),
+                extra={"experiment": args.name, "seed": args.seed},
+            )
     if args.trace:
         print(f"trace written to {args.trace}")
-    if registry is not None:
+    if args.metrics:
         print(f"metrics snapshot written to {args.metrics}")
+    if args.obs_journal:
+        print(f"obs record appended to {args.obs_journal}")
     if journal is not None:
         print(
             f"journal {args.journal}: {runner.computed_cells} cells computed, "
@@ -875,6 +997,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve_http,
     )
 
+    live = bool(
+        args.live_telemetry or args.slo_advisory or args.flight_journal
+    )
     config = ServiceConfig(
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
@@ -882,6 +1007,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rung_timeout=args.rung_timeout,
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
+        live_telemetry=live,
+        slo_advisory=args.slo_advisory,
+        flight_journal=args.flight_journal,
+        window_bucket_seconds=args.window_bucket,
+        window_horizon_seconds=args.window_horizon,
     )
     cache = ResultCache(
         Journal(args.cache_journal) if args.cache_journal else None,
@@ -896,6 +1026,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"recovered {recovered} cached results"
         )
     server = serve_http(service, host=args.host, port=args.port)
+    if live:
+        print(
+            "live telemetry on: /metricz?window=N, /debugz"
+            + (", SLO advisory" if args.slo_advisory else "")
+        )
     # The smoke harness parses this line to learn the bound port.
     print(f"serving on http://{args.host}:{server.port}", flush=True)
     try:
@@ -936,6 +1071,82 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_json(path: str, what: str) -> dict:
+    import json
+    from pathlib import Path
+
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read {what} {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"{what} {path} is not a JSON object")
+    return payload
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import load_obs_journal, load_trace, render_prometheus
+    from repro.obs.summarize import summarize
+
+    if args.obs_command == "summarize":
+        events = load_trace(args.trace) if args.trace else []
+        snapshot = (
+            _read_json(args.metrics, "metrics snapshot")
+            if args.metrics
+            else None
+        )
+        flight = (
+            _read_json(args.flight, "flight dump") if args.flight else None
+        )
+        if not events and snapshot is None and flight is None:
+            raise ReproError(
+                "give at least one of --trace, --metrics, --flight"
+            )
+        print(summarize(events, snapshot, flight))
+        return 0
+    if args.obs_command == "export":
+        text = render_prometheus(_read_json(args.snapshot, "snapshot"))
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"exposition written to {args.out}", file=sys.stderr)
+        else:
+            print(text, end="")
+        return 0
+    # tail
+    try:
+        records = load_obs_journal(args.journal)
+    except OSError as exc:
+        raise ReproError(f"cannot read journal {args.journal}: {exc}") from exc
+    shown = records[-args.records:] if args.records else []
+    print(
+        f"{args.journal}: {len(records)} records"
+        + (f", showing last {len(shown)}" if shown else "")
+    )
+    for record in shown:
+        if args.raw:
+            print(json.dumps(record, sort_keys=True))
+            continue
+        snapshot = record.get("snapshot", {})
+        counters = snapshot.get("counters", {}) if isinstance(snapshot, dict) else {}
+        extras = [
+            f"{key}={record[key]}"
+            for key in sorted(record)
+            if key not in ("schema", "kind", "stamp", "snapshot")
+            and not isinstance(record[key], (dict, list))
+        ]
+        line = (
+            f"  {record.get('kind', '?'):12s} stamp={record.get('stamp', '?')} "
+            f"counters={len(counters)}"
+        )
+        if extras:
+            line += " " + " ".join(extras)
+        print(line)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -958,6 +1169,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
         return _cmd_experiment(args)
     except DeadlineExceeded as exc:
         print(f"deadline exceeded: {exc}", file=sys.stderr)

@@ -8,6 +8,18 @@ Zero-dependency, deterministic-by-default observability:
 - :class:`MetricsRegistry` / :func:`count` / :func:`observe` /
   :func:`gauge` / :func:`metrics_scope` — counters, gauges and
   log2-bucket histograms of algorithm work units.
+- :class:`WindowedRegistry` — time-bucketed ring aggregation on the
+  injectable clock: per-window rates, last gauges and merged
+  histograms for "what happened in the last N seconds".
+- :class:`SLOMonitor` / :class:`SLObjective` — declarative objectives
+  evaluated as fast/slow multi-window burn rates.
+- :class:`FlightRecorder` — bounded ring of recent request summaries,
+  dumped atomically on SLO breach or on demand.
+- :func:`render_prometheus` — Prometheus text exposition of any
+  snapshot; :func:`append_obs_record` / :func:`load_obs_journal` — the
+  ``OBS_*.jsonl`` snapshot journal.
+- ``repro.obs.names`` — the checked-in metric/span name registry
+  enforced by lint rule REP015.
 
 Everything is off by default: with no scope active the helpers cost a
 single ``ContextVar`` read, and :class:`NullTracer` /
@@ -16,6 +28,14 @@ single ``ContextVar`` read, and :class:`NullTracer` /
 deliberate non-export — it lives in a higher layer; import it directly.
 """
 
+from repro.obs.expo import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+from repro.obs.flight import (
+    FLIGHT_VERSION,
+    FlightRecorder,
+)
 from repro.obs.metrics import (
     METRICS_VERSION,
     Histogram,
@@ -24,9 +44,24 @@ from repro.obs.metrics import (
     active_registries,
     count,
     gauge,
+    histogram_quantile,
     install_registry,
     metrics_scope,
     observe,
+)
+from repro.obs.names import (
+    DYNAMIC_METRIC_PREFIXES,
+    METRIC_NAMES,
+    SPAN_NAMES,
+    is_registered_metric,
+    is_registered_span,
+)
+from repro.obs.slo import (
+    SLObjective,
+    SLOMonitor,
+    SLOResult,
+    default_objectives,
+    worst_status,
 )
 from repro.obs.tracer import (
     TRACE_VERSION,
@@ -41,27 +76,54 @@ from repro.obs.tracer import (
     trace_scope,
     write_chrome_trace,
 )
+from repro.obs.windows import (
+    OBS_SCHEMA,
+    WINDOW_VERSION,
+    WindowedRegistry,
+    append_obs_record,
+    load_obs_journal,
+)
 
 __all__ = [
     "Clock",
+    "DYNAMIC_METRIC_PREFIXES",
+    "FLIGHT_VERSION",
     "METRICS_VERSION",
+    "METRIC_NAMES",
+    "OBS_SCHEMA",
+    "PROMETHEUS_CONTENT_TYPE",
+    "SPAN_NAMES",
     "TRACE_VERSION",
+    "WINDOW_VERSION",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
+    "SLOMonitor",
+    "SLOResult",
+    "SLObjective",
     "Tracer",
+    "WindowedRegistry",
     "active_registries",
     "active_tracer",
+    "append_obs_record",
     "chrome_trace",
     "count",
+    "default_objectives",
     "gauge",
+    "histogram_quantile",
     "install_registry",
+    "is_registered_metric",
+    "is_registered_span",
+    "load_obs_journal",
     "load_trace",
     "metrics_scope",
     "observe",
     "observe_site",
+    "render_prometheus",
     "span",
     "trace_scope",
+    "worst_status",
     "write_chrome_trace",
 ]

@@ -1,0 +1,145 @@
+"""Prometheus text exposition for metric snapshots.
+
+Renders a v1 or v2 (windowed) snapshot to the Prometheus text format
+(version 0.0.4) so a stock scraper can read ``GET /metricz`` without
+any adapter.  Mapping choices:
+
+- counters → ``repro_<name>_total``;
+- gauges → ``repro_<name>``;
+- log2 histograms → cumulative ``_bucket{le="2**e"}`` series plus
+  ``_sum``/``_count`` (the upper bucket edge is exact — bucket ``e``
+  holds ``(2**(e-1), 2**e]`` — so no precision is lost in translation);
+- v2 window block → the same families labelled ``{window="N"}``, plus
+  ``_rate`` series and summary-style ``{quantile="..."}`` samples.
+
+Dots become underscores (Prometheus name charset); output is sorted at
+every level, so rendering the same snapshot twice is byte-identical —
+the property every artifact in this repo is held to.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+]
+
+#: Value for the ``Content-Type`` header when serving this rendering.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantile label per window-snapshot key ("p50" → "0.5").
+_QUANTILE_LABELS = {"p50": "0.5", "p90": "0.9", "p99": "0.99"}
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted metric name into the Prometheus charset."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integral floats without the trailing .0."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _labels(**labels: str) -> str:
+    """Render a label set (sorted) or the empty string."""
+    items = {k: v for k, v in labels.items() if v}
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{items[k]}"' for k in sorted(items))
+    return "{" + body + "}"
+
+
+def _render_histogram(
+    lines: List[str],
+    name: str,
+    snap: Mapping[str, Any],
+    *,
+    window: str = "",
+) -> None:
+    """Emit one histogram family as cumulative le-buckets + sum/count."""
+    base = _metric_name(name)
+    if not window:
+        lines.append(f"# TYPE {base} histogram")
+    cumulative = 0
+    buckets = dict(snap.get("buckets", {}))
+    for exp in sorted(int(key) for key in buckets):
+        cumulative += int(buckets[str(exp)])
+        # The underflow bucket holds values <= 0: its upper edge is 0.
+        edge = "0" if exp < -30 else _fmt(2.0**exp)
+        labels = _labels(le=edge, window=window)
+        lines.append(f"{base}_bucket{labels} {cumulative}")
+    inf_labels = _labels(le="+Inf", window=window)
+    count = int(snap.get("count", 0))
+    lines.append(f"{base}_bucket{inf_labels} {count}")
+    suffix = _labels(window=window)
+    lines.append(f"{base}_sum{suffix} {_fmt(float(snap.get('sum', 0.0)))}")
+    lines.append(f"{base}_count{suffix} {count}")
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a metrics snapshot (v1 or v2) to Prometheus text format."""
+    lines: List[str] = []
+    counters: Dict[str, float] = dict(snapshot.get("counters", {}))
+    for name in sorted(counters):
+        base = _metric_name(name)
+        lines.append(f"# TYPE {base}_total counter")
+        lines.append(f"{base}_total {_fmt(counters[name])}")
+    gauges: Dict[str, float] = dict(snapshot.get("gauges", {}))
+    for name in sorted(gauges):
+        base = _metric_name(name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_fmt(gauges[name])}")
+    histograms: Dict[str, Any] = dict(snapshot.get("histograms", {}))
+    for name in sorted(histograms):
+        _render_histogram(lines, name, histograms[name])
+
+    window = snapshot.get("window")
+    if isinstance(window, Mapping):
+        tag = _fmt(float(window.get("seconds", 0.0)))
+        window_counters = dict(window.get("counters", {}))
+        for name in sorted(window_counters):
+            base = _metric_name(name)
+            labels = _labels(window=tag)
+            lines.append(
+                f"{base}_window_total{labels} {_fmt(window_counters[name])}"
+            )
+        rates = dict(window.get("rates", {}))
+        for name in sorted(rates):
+            base = _metric_name(name)
+            labels = _labels(window=tag)
+            lines.append(f"{base}_rate{labels} {_fmt(rates[name])}")
+        window_gauges = dict(window.get("gauges", {}))
+        for name in sorted(window_gauges):
+            base = _metric_name(name)
+            labels = _labels(window=tag)
+            lines.append(f"{base}{labels} {_fmt(window_gauges[name])}")
+        window_histograms = dict(window.get("histograms", {}))
+        for name in sorted(window_histograms):
+            _render_histogram(
+                lines, name, window_histograms[name], window=tag
+            )
+        quantiles = dict(window.get("quantiles", {}))
+        for name in sorted(quantiles):
+            base = _metric_name(name)
+            per_label = dict(quantiles[name])
+            for key in sorted(per_label):
+                value = per_label[key]
+                if value is None:
+                    continue
+                labels = _labels(
+                    quantile=_QUANTILE_LABELS.get(key, key), window=tag
+                )
+                lines.append(f"{base}{labels} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

@@ -40,6 +40,7 @@ __all__ = [
     "active_registries",
     "count",
     "gauge",
+    "histogram_quantile",
     "install_registry",
     "metrics_scope",
     "observe",
@@ -121,6 +122,40 @@ class Histogram:
         for key, n in dict(snap.get("buckets", {})).items():
             exp = int(key)
             self.buckets[exp] = self.buckets.get(exp, 0) + int(n)
+
+
+def histogram_quantile(snap: Mapping[str, Any], q: float) -> float | None:
+    """Deterministic quantile estimate from a histogram snapshot.
+
+    Walks the sorted log2 buckets to the bucket containing the
+    ``ceil(q * count)``-th sample and returns that bucket's upper edge
+    (``2**exp``), clamped into the exact ``[min, max]`` range so the
+    estimate never leaves the observed support.  Same snapshot, same
+    ``q`` → same answer, on any machine — which is what lets fake-clock
+    tests assert p99 values byte-for-byte.
+
+    Returns ``None`` for an empty histogram.  ``q`` is clamped to
+    ``[0, 1]``.
+    """
+    total = int(snap.get("count", 0))
+    if total <= 0:
+        return None
+    q = max(0.0, min(1.0, float(q)))
+    rank = max(1, math.ceil(q * total))
+    seen = 0
+    edge: float = 0.0
+    for key in sorted(int(k) for k in dict(snap.get("buckets", {}))):
+        seen += int(snap["buckets"][str(key)])
+        if seen >= rank:
+            # Underflow bucket (exponent _MIN_EXP - 1) holds values <= 0.
+            edge = 0.0 if key < _MIN_EXP else float(2.0**key)
+            break
+    low, high = snap.get("min"), snap.get("max")
+    if low is not None:
+        edge = max(edge, float(low))
+    if high is not None:
+        edge = min(edge, float(high))
+    return edge
 
 
 class MetricsRegistry:

@@ -11,6 +11,11 @@ The output is the profiling deliverable: a per-phase time/work table
 (span name → count, total/mean duration, checkpoint hits) plus counter,
 gauge and histogram tables from a :class:`~repro.obs.MetricsRegistry`
 snapshot.
+
+Accepts both snapshot schemas (the ``v`` field): v1 (cumulative only)
+and v2 (:meth:`~repro.obs.WindowedRegistry.window_snapshot`, which adds
+a ``window`` block of in-window sums, rates and quantiles) — the same
+both-versions posture as the bench report's v1→v2 loader shim.
 """
 
 from __future__ import annotations
@@ -19,7 +24,32 @@ from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.report import format_table
 
-__all__ = ["summarize", "summarize_metrics", "summarize_spans"]
+__all__ = [
+    "normalize_snapshot",
+    "summarize",
+    "summarize_flight",
+    "summarize_metrics",
+    "summarize_spans",
+]
+
+
+def normalize_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """Coerce a v1 or v2 metrics snapshot into the v2 shape.
+
+    v1 snapshots (no ``window`` key) gain an empty ``window`` block so
+    downstream renderers can branch on content, not on version — the
+    loader-shim pattern the bench schema established.  Unknown future
+    versions are passed through untouched beyond the same guarantee.
+    """
+    version = int(snapshot.get("v", 1))
+    normalized: Dict[str, Any] = {
+        "v": version,
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": dict(snapshot.get("histograms", {})),
+        "window": dict(snapshot.get("window", {})),
+    }
+    return normalized
 
 
 def summarize_spans(events: Sequence[Mapping[str, Any]]) -> str:
@@ -61,7 +91,13 @@ def summarize_spans(events: Sequence[Mapping[str, Any]]) -> str:
 
 
 def summarize_metrics(snapshot: Mapping[str, Any]) -> str:
-    """Counter / gauge / histogram tables from a registry snapshot."""
+    """Counter / gauge / histogram tables from a v1 or v2 snapshot.
+
+    A v2 (windowed) snapshot additionally gets an in-window table of
+    counter sums with per-second rates, and a quantile table per
+    windowed histogram.
+    """
+    snapshot = normalize_snapshot(snapshot)
     sections: List[str] = []
     counters = dict(snapshot.get("counters", {}))
     if counters:
@@ -105,21 +141,85 @@ def summarize_metrics(snapshot: Mapping[str, Any]) -> str:
                 precision=4,
             )
         )
+    window = dict(snapshot.get("window", {}))
+    window_counters = dict(window.get("counters", {}))
+    if window_counters:
+        seconds = float(window.get("seconds", 0.0))
+        rates = dict(window.get("rates", {}))
+        sections.append(
+            format_table(
+                [f"counter (last {seconds:g}s)", "sum", "per second"],
+                [
+                    [name, window_counters[name], rates.get(name, 0.0)]
+                    for name in sorted(window_counters)
+                ],
+                precision=3,
+            )
+        )
+    quantiles = dict(window.get("quantiles", {}))
+    if quantiles:
+        rows = []
+        for name in sorted(quantiles):
+            per = dict(quantiles[name])
+            rows.append(
+                [name, per.get("p50"), per.get("p90"), per.get("p99")]
+            )
+        sections.append(
+            format_table(
+                ["windowed histogram", "p50", "p90", "p99"],
+                rows,
+                precision=4,
+            )
+        )
     if not sections:
         return "(no metrics recorded)"
     return "\n\n".join(sections)
 
 
+def summarize_flight(flight: Mapping[str, Any]) -> str:
+    """Recent-entries table from a flight-recorder snapshot or dump."""
+    entries = list(flight.get("entries", []))
+    header = (
+        f"flight ring: {len(entries)} held, "
+        f"{int(flight.get('recorded', len(entries)))} recorded, "
+        f"{int(flight.get('dropped', 0))} dropped"
+    )
+    if not entries:
+        return header + "\n(no entries)"
+    rows: List[List[object]] = []
+    for entry in entries:
+        summary = dict(entry.get("summary", {}))
+        detail = ", ".join(
+            f"{key}={summary[key]}"
+            for key in sorted(summary)
+            if key in ("status", "elapsed_seconds", "request_id")
+        )
+        rows.append(
+            [
+                int(entry.get("seq", 0)),
+                float(entry.get("at", 0.0)),
+                str(entry.get("kind", "?")),
+                detail,
+            ]
+        )
+    return header + "\n" + format_table(
+        ["seq", "at", "kind", "summary"], rows, precision=3
+    )
+
+
 def summarize(
     events: Sequence[Mapping[str, Any]] = (),
     snapshot: Mapping[str, Any] | None = None,
+    flight: Mapping[str, Any] | None = None,
 ) -> str:
-    """Combined per-phase and metrics report (either part optional)."""
+    """Combined per-phase / metrics / flight report (each part optional)."""
     parts: List[str] = []
     if events:
         parts.append("Per-phase time/work\n" + summarize_spans(events))
     if snapshot is not None:
         parts.append("Metrics\n" + summarize_metrics(snapshot))
+    if flight is not None:
+        parts.append("Flight recorder\n" + summarize_flight(flight))
     if not parts:
         return "(nothing to summarize)"
     return "\n\n".join(parts)

@@ -50,7 +50,13 @@ from repro.measures.entropy import (
     node_costs_reference,
 )
 from repro.measures.registry import get_measure
-from repro.obs import MetricsRegistry, NullRegistry, metrics_scope, span
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    append_obs_record,
+    metrics_scope,
+    span,
+)
 from repro.runtime import Timer, atomic_write_text
 from repro.tabular.encoding import EncodedTable
 
@@ -154,6 +160,29 @@ class BenchReport:
         """Atomically write the JSON report."""
         atomic_write_text(
             path, json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def obs_record(self, path: str | Path) -> dict[str, Any]:
+        """Append this run to an ``OBS_*.jsonl`` snapshot journal.
+
+        One record per bench run: ``kind="bench"``, the report stamp
+        (joinable against the ``BENCH_<stamp>.json`` baseline), the
+        embedded work-unit snapshot (empty when the run collected no
+        metrics) and per-case median seconds — the committed artifact
+        the cost-model planner (ROADMAP item 2) fits against.
+        """
+        return append_obs_record(
+            path,
+            kind="bench",
+            stamp=self.stamp,
+            snapshot=self.metrics if self.metrics is not None else {},
+            extra={
+                "quick": self.quick,
+                "git_sha": self.git_sha,
+                "case_medians": {
+                    entry["name"]: entry["median"] for entry in self.cases
+                },
+            },
         )
 
 

@@ -14,7 +14,12 @@ around :func:`repro.core.api.anonymize`, hardened end to end:
   ``(dataset fingerprint, k, notion, measure)`` persisted through the
   fsync-per-line journal (:mod:`repro.serve.cache`),
 - a chaos drill proving byte-identical recovery with zero
-  recomputation (:mod:`repro.serve.drill`).
+  recomputation (:mod:`repro.serve.drill`),
+- opt-in live telemetry (``ServiceConfig.live_telemetry``): a
+  sliding-window registry behind ``/metricz?window=N``, SLO burn-rate
+  monitors surfaced in ``/healthz`` (and, with ``slo_advisory``,
+  advising the gate and breaker), and a flight recorder behind
+  ``/debugz`` that dumps atomically on the first breach edge.
 
 Run it with ``repro-anon serve``; see docs/serving.md.
 """

@@ -3,6 +3,14 @@
 The service refuses work it cannot finish rather than letting latency
 grow without bound.  Three typed shed reasons:
 
+Both primitives also accept an *advisory* signal from the SLO monitor
+(:meth:`AdmissionGate.advise_pressure`, :meth:`CircuitBreaker.advise`):
+under confirmed burn the gate inflates its wait estimates (shedding
+earlier) and the breaker halves its failure budget (tripping sooner).
+Advice never admits work the un-advised gate would refuse — it only
+tightens — and it is opt-in end to end (``ServiceConfig.slo_advisory``),
+so the default service is bit-for-bit the pre-advisory one.
+
 ``queue_full``
     The bounded wait queue is at capacity — depth alone makes the SLO
     unmeetable for a newcomer.
@@ -106,6 +114,7 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at = 0.0
         self._probing = False
+        self._advised_pressure = False
 
     @property
     def state(self) -> str:
@@ -158,13 +167,30 @@ class CircuitBreaker:
             self._failures = 0
             self._probing = False
 
+    def advise(self, pressure: bool) -> None:
+        """Advisory from the SLO monitor: halve the failure budget.
+
+        Under pressure the effective threshold drops to
+        ``max(1, failure_threshold // 2)`` — the breaker trips sooner
+        while the service is already burning its error budget.  Advice
+        is level-triggered (set on breach, cleared on recovery) and
+        never widens the budget past the configured threshold.
+        """
+        with self._lock:
+            self._advised_pressure = bool(pressure)
+
+    def _effective_threshold_locked(self) -> int:
+        if self._advised_pressure:
+            return max(1, self.failure_threshold // 2)
+        return self.failure_threshold
+
     def record_failure(self) -> None:
         """The backend call failed: count it, trip when over threshold."""
         with self._lock:
             self._failures += 1
             if (
                 self._state == "half-open"
-                or self._failures >= self.failure_threshold
+                or self._failures >= self._effective_threshold_locked()
             ):
                 self._state = "open"
                 self._opened_at = self.clock()
@@ -215,6 +241,7 @@ class AdmissionGate:
         self._queued = 0
         self._inflight = 0
         self._ewma = expected_seconds
+        self._pressure = 1.0
 
     def stats(self) -> GateStats:
         """Current depth and smoothed service time."""
@@ -226,11 +253,22 @@ class AdmissionGate:
         with self._cond:
             return self._estimated_wait_locked()
 
+    def advise_pressure(self, factor: float) -> None:
+        """Advisory from the SLO monitor: inflate wait estimates.
+
+        ``factor`` multiplies the EWMA-based delay estimate used by
+        ``deadline_unmeetable`` triage; it is clamped to ``>= 1.0`` so
+        advice can only make admission more conservative, never admit
+        work the un-advised gate would shed.  ``1.0`` clears it.
+        """
+        with self._cond:
+            self._pressure = max(1.0, float(factor))
+
     def _estimated_wait_locked(self) -> float:
         backlog = self._queued + max(
             0, self._inflight - self.max_inflight + 1
         )
-        return backlog * self._ewma / self.max_inflight
+        return backlog * self._ewma * self._pressure / self.max_inflight
 
     def try_admit(self, budget: float | None) -> None:
         """Admit into the wait queue, or raise a typed shed.

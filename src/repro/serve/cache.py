@@ -90,6 +90,22 @@ class ResultCache:
         with self._lock:
             return len(self._store)
 
+    def journal_bytes(self) -> int:
+        """Current size of the backing journal file in bytes.
+
+        The journal is append-only with no compaction (ROADMAP item 3),
+        so this number only grows; surfacing it as the
+        ``serve.cache.journal_bytes`` gauge makes that growth visible
+        on ``/metricz`` instead of discovered at disk-full.  Returns 0
+        for a memory-only cache or a journal not yet written.
+        """
+        if self.journal is None:
+            return 0
+        try:
+            return int(self.journal.path.stat().st_size)
+        except OSError:
+            return 0
+
     def load(self) -> int:
         """Replay the journal into memory; returns the recovery count.
 

@@ -17,6 +17,11 @@ robustness contract:
    *typed* sheds (``deadline_unmeetable``, ``queue_full``,
    ``breaker_open``) — never a hang, never a silently degraded
    guarantee.
+5. **Live telemetry** — a service with windowed telemetry on a ticking
+   fake clock suffers a synthetic latency regression; the SLO monitor
+   must count exactly one breach edge, write exactly one atomic flight
+   dump, keep the request mix in the flight ring, and degrade
+   ``/healthz`` from ``ok``.
 
 ``tools/serve_smoke.py`` runs the same contract over real HTTP with a
 real SIGKILL; this in-process version is deterministic enough for the
@@ -30,6 +35,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.obs import default_objectives
+from repro.obs.windows import WindowedRegistry
 from repro.runtime.faults import FaultPlan, fault_scope
 from repro.runtime.journal import Journal
 from repro.runtime.retry import RetryPolicy
@@ -90,6 +97,25 @@ def canonical_body(envelope: dict[str, Any]) -> str:
 
 def _no_sleep(_seconds: float) -> None:
     """Drill sleeper: backoff delays are schedule-checked, not waited."""
+
+
+class _TickClock:
+    """Fake monotonic clock: every read advances by a fixed step.
+
+    Any code path that reads time (timers, deadlines, window buckets)
+    therefore observes strictly increasing, fully deterministic
+    timestamps — and a request whose handling touches the clock a few
+    hundred times appears to take a few seconds, which is the synthetic
+    latency regression phase 5 relies on.
+    """
+
+    def __init__(self, step: float) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
 
 
 def _drill_config() -> ServiceConfig:
@@ -233,5 +259,56 @@ def run_chaos_drill(
         and broken["shed"]["reason"] == "breaker_open"
         and broken["shed"]["retry_after"] > 0,
         f"got {broken.get('shed', broken.get('status'))}",
+    )
+
+    # Phase 5: live telemetry under a synthetic latency regression.
+    # Every clock read ticks 10 ms, so each request "takes" far longer
+    # than the 50 ms p99 objective — the first request must cross the
+    # breach edge exactly once.
+    flight_path = journal_path.parent / "flight_dump.json"
+    live = AnonymizationService(
+        ServiceConfig(
+            max_inflight=2,
+            max_queue=8,
+            default_timeout=600.0,
+            retry=RetryPolicy(attempts=3, base_delay=0.0, seed=0),
+            live_telemetry=True,
+            flight_journal=str(flight_path),
+            window_horizon_seconds=600.0,
+            objectives=default_objectives(latency_target=0.05),
+        ),
+        clock=_TickClock(step=0.01),
+        sleeper=_no_sleep,
+    )
+    live_requests = mix[:3]
+    for request in live_requests:
+        live.handle(request.to_json())
+    report.record(
+        "telemetry.breach_counted",
+        live.registry.counter("serve.slo.breaches") >= 1,
+        f"serve.slo.breaches={live.registry.counter('serve.slo.breaches')}",
+    )
+    report.record(
+        "telemetry.single_flight_dump",
+        live.flight_dumps == 1 and flight_path.is_file(),
+        f"flight_dumps={live.flight_dumps}, file={flight_path.is_file()}",
+    )
+    assert isinstance(live.registry, WindowedRegistry)
+    window = live.registry.window_snapshot(60.0)["window"]
+    report.record(
+        "telemetry.window_counters_nonzero",
+        window["counters"].get("serve.requests", 0) >= 1,
+        f"window counters={sorted(window['counters'])}",
+    )
+    assert live.flight is not None
+    report.record(
+        "telemetry.flight_ring_populated",
+        len(live.flight) >= len(live_requests),
+        f"flight entries={len(live.flight)}",
+    )
+    report.record(
+        "telemetry.health_degraded",
+        live.health()["status"] in ("warn", "breach"),
+        f"healthz status={live.health()['status']!r}",
     )
     return report

@@ -8,11 +8,22 @@ server is zero-dependency.  Endpoints:
     or infeasible requests, 429 (with ``Retry-After``) on typed load
     sheds, 503 when the degradation chain is exhausted.
 ``GET /healthz``
-    Gate depth, breaker state and cache size.
+    Gate depth, breaker state and cache size; with live telemetry on,
+    ``status`` carries the worst SLO standing (ok/warn/breach) plus a
+    per-objective ``slo`` block.
 ``GET /metricz``
     The service registry's metrics snapshot (counters, latency
     histograms) — the smoke drill reads ``serve.execute.computed``
-    here to prove zero recomputation after a crash.
+    here to prove zero recomputation after a crash.  Health gauges
+    (gate depth, breaker state, cache entries, journal bytes) are
+    refreshed into the snapshot so one scrape suffices.
+    ``?window=N`` (live telemetry only) returns the v2 windowed
+    snapshot for the last N seconds; ``?format=text`` — or an
+    ``Accept: text/plain`` header — selects the Prometheus text
+    exposition instead of JSON.
+``GET /debugz``
+    The flight recorder's ring of recent request summaries (live
+    telemetry only; 400 when disabled).
 
 Request threads spawned by the server cannot see the main thread's
 ``ContextVar`` scopes; the service installs its own registry/tracer
@@ -25,7 +36,10 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.windows import WindowedRegistry
 from repro.serve.protocol import http_status
 from repro.serve.service import AnonymizationService
 
@@ -80,19 +94,92 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(status, envelope, headers)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
-        if self.path == "/healthz":
-            self._reply(200, {"status": "ok", **self.server.service.stats()})
-        elif self.path == "/metricz":
-            self._reply(200, self.server.service.registry.snapshot())
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        if parts.path == "/healthz":
+            self._reply(200, self.server.service.health())
+        elif parts.path == "/metricz":
+            self._get_metricz(query)
+        elif parts.path == "/debugz":
+            flight = self.server.service.flight
+            if flight is None:
+                self._reply(
+                    400,
+                    {
+                        "error": "flight recorder disabled; start the "
+                        "service with live telemetry enabled"
+                    },
+                )
+            else:
+                self._reply(200, flight.snapshot())
         else:
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            self._reply(404, {"error": f"unknown path {parts.path!r}"})
+
+    def _get_metricz(self, query: dict[str, list[str]]) -> None:
+        service = self.server.service
+        service.refresh_health_gauges()
+        window_arg = query.get("window", [None])[0]
+        if window_arg is None:
+            snapshot = service.registry.snapshot()
+        else:
+            registry = service.registry
+            if not isinstance(registry, WindowedRegistry):
+                self._reply(
+                    400,
+                    {
+                        "error": "?window= needs a windowed registry; "
+                        "start the service with live telemetry enabled"
+                    },
+                )
+                return
+            try:
+                seconds = float(window_arg)
+            except ValueError:
+                self._reply(
+                    400, {"error": f"invalid window {window_arg!r}"}
+                )
+                return
+            if seconds <= 0:
+                self._reply(
+                    400, {"error": "window must be positive seconds"}
+                )
+                return
+            snapshot = registry.window_snapshot(seconds)
+        fmt = query.get("format", [None])[0]
+        accept = self.headers.get("Accept", "")
+        as_text = fmt == "text" or (
+            fmt is None
+            and "text/plain" in accept
+            and "application/json" not in accept
+        )
+        if fmt not in (None, "text", "json"):
+            self._reply(400, {"error": f"unknown format {fmt!r}"})
+            return
+        if as_text:
+            self._reply_text(200, render_prometheus(snapshot))
+        else:
+            self._reply(200, snapshot)
 
     def _reply(
         self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._reply_bytes(status, body, "application/json", headers)
+
+    def _reply_text(self, status: int, text: str) -> None:
+        self._reply_bytes(
+            status, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE, None
+        )
+
+    def _reply_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)

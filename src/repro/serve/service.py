@@ -47,14 +47,20 @@ from repro.errors import (
 )
 from repro.obs import (
     Clock,
+    FlightRecorder,
     MetricsRegistry,
     NullTracer,
+    SLOMonitor,
+    SLObjective,
     Tracer,
+    WindowedRegistry,
     count,
+    default_objectives,
     metrics_scope,
     observe,
     span,
     trace_scope,
+    worst_status,
 )
 from repro.runtime.deadline import Deadline, Timer, checkpoint, limit_scope
 from repro.runtime.fallback import (
@@ -99,6 +105,17 @@ class ServiceConfig:
     )
     breaker_threshold: int = 5  #: consecutive failures that trip the breaker
     breaker_reset: float = 30.0  #: breaker cooldown, seconds
+    # -- live telemetry (repro.obs.live); all off by default so the
+    # -- stock service stays byte-identical to the pre-telemetry one.
+    live_telemetry: bool = False  #: windowed registry + SLOs + flight ring
+    slo_advisory: bool = False  #: let SLO breaches tighten gate/breaker
+    window_bucket_seconds: float = 1.0  #: window resolution
+    window_horizon_seconds: float = 300.0  #: how far back windows reach
+    flight_capacity: int = 256  #: flight-recorder ring size
+    flight_journal: str | None = None  #: breach dumps land here (atomic)
+    objectives: tuple[SLObjective, ...] = field(
+        default_factory=default_objectives
+    )  #: SLOs evaluated per request when live
 
 
 def chain_for(notion: str) -> tuple[Rung, ...]:
@@ -158,8 +175,30 @@ class AnonymizationService:
         self.loader = loader
         self.clock = clock
         self.sleeper = sleeper
-        self.registry = registry if registry is not None else MetricsRegistry()
+        if registry is not None:
+            self.registry = registry
+        elif self.config.live_telemetry:
+            self.registry = WindowedRegistry(
+                clock,
+                bucket_seconds=self.config.window_bucket_seconds,
+                horizon_seconds=self.config.window_horizon_seconds,
+            )
+        else:
+            self.registry = MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
+        # Live telemetry: SLO monitor + flight recorder, only when the
+        # config opts in *and* the registry can answer window queries.
+        self.flight: FlightRecorder | None = None
+        self.slo: SLOMonitor | None = None
+        if self.config.live_telemetry:
+            self.flight = FlightRecorder(
+                self.config.flight_capacity, clock=clock
+            )
+            if isinstance(self.registry, WindowedRegistry):
+                self.slo = SLOMonitor(self.config.objectives, self.registry)
+        self.flight_dumps = 0  #: breach-edge dumps written so far
+        self._slo_status = "ok"
+        self._slo_lock = threading.Lock()
         self.gate = AdmissionGate(
             max_inflight=self.config.max_inflight,
             max_queue=self.config.max_queue,
@@ -200,6 +239,10 @@ class AnonymizationService:
             envelope["meta"]["elapsed_seconds"] = timer.seconds
             observe("serve.request_seconds", timer.seconds)
             count(f"serve.status.{envelope['status']}")
+            if self.flight is not None:
+                self._record_flight(envelope, timer.seconds)
+            if self.slo is not None:
+                self._observe_slo()
             return envelope
 
     def stats(self) -> dict[str, Any]:
@@ -212,6 +255,106 @@ class AnonymizationService:
             "breaker": self.breaker.state,
             "cached_bodies": len(self.cache),
         }
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` payload: stats plus SLO standing when live.
+
+        With live telemetry off this is exactly the historical payload
+        (``status: ok`` + :meth:`stats`); when on, ``status`` becomes
+        the worst current SLO status (``ok``/``warn``/``breach``) and a
+        per-objective ``slo`` block rides along.
+        """
+        payload: dict[str, Any] = {"status": "ok", **self.stats()}
+        if self.slo is not None:
+            results = self.slo.evaluate()
+            payload["status"] = worst_status(results)
+            payload["slo"] = [result.to_json() for result in results]
+        return payload
+
+    def slo_status(self) -> str:
+        """Worst SLO status as of the last handled request."""
+        if self.slo is None:
+            return "ok"
+        with self._slo_lock:
+            return self._slo_status
+
+    def refresh_health_gauges(self) -> None:
+        """Mirror ``/healthz`` state into registry gauges.
+
+        Called before every ``/metricz`` snapshot so one scrape carries
+        both workload counters and service health — gate depth, breaker
+        state (0 closed / 1 half-open / 2 open), cache entries, and the
+        cache journal's unbounded on-disk size (ROADMAP item 3).
+        """
+        gate = self.gate.stats()
+        breaker_states = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+        registry = self.registry
+        registry.set_gauge(
+            "serve.gate.depth", float(gate.queued + gate.inflight)
+        )
+        registry.set_gauge(
+            "serve.breaker.state",
+            breaker_states.get(self.breaker.state, 2.0),
+        )
+        registry.set_gauge("serve.cache.entries", float(len(self.cache)))
+        registry.set_gauge(
+            "serve.cache.journal_bytes", float(self.cache.journal_bytes())
+        )
+
+    def _record_flight(
+        self, envelope: dict[str, Any], seconds: float
+    ) -> None:
+        """Append this request's summary to the flight ring."""
+        assert self.flight is not None
+        status = envelope.get("status", "unknown")
+        summary: dict[str, Any] = {
+            "status": status,
+            "elapsed_seconds": seconds,
+            "request_id": envelope.get("meta", {}).get("request_id"),
+        }
+        if "error" in envelope:
+            summary["error"] = envelope["error"]
+        if "shed" in envelope:
+            summary["shed"] = envelope["shed"]
+        kind = "error" if status == "error" else "request"
+        self.flight.record(kind, summary)
+
+    def _observe_slo(self) -> None:
+        """Evaluate SLOs after a request; act on the breach *edge*.
+
+        The ok→breach transition (detected under a lock, so concurrent
+        requests see exactly one edge) counts a breach, records it in
+        the flight ring and — if a dump path is configured — writes one
+        atomic flight dump.  Level-triggered advisory pressure is then
+        applied to the gate and breaker when ``slo_advisory`` is on.
+        """
+        assert self.slo is not None and self.flight is not None
+        results = self.slo.evaluate()
+        status = worst_status(results)
+        with self._slo_lock:
+            previous, self._slo_status = self._slo_status, status
+            new_breach = status == "breach" and previous != "breach"
+            if new_breach and self.config.flight_journal is not None:
+                self.flight_dumps += 1
+        if new_breach:
+            count("serve.slo.breaches")
+            self.flight.record(
+                "breach",
+                {"results": [result.to_json() for result in results]},
+            )
+            if self.config.flight_journal is not None:
+                count("serve.flight.dumps")
+                self.flight.dump(self.config.flight_journal)
+        if self.config.slo_advisory:
+            if status == "breach":
+                self.gate.advise_pressure(2.0)
+                self.breaker.advise(True)
+            elif status == "warn":
+                self.gate.advise_pressure(1.5)
+                self.breaker.advise(False)
+            else:
+                self.gate.advise_pressure(1.0)
+                self.breaker.advise(False)
 
     # ----------------------------------------------------------------- #
 

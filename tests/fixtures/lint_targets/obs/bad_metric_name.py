@@ -1,0 +1,19 @@
+"""REP015 fixture: metric/span names outside the repro.obs.names registry."""
+
+from __future__ import annotations
+
+from repro.obs import count, span
+
+
+def mystery(reason: str) -> None:
+    count("serve.made.up")  # REP015: literal, but not registered
+    count("serve." + reason)  # REP015: computed name, fully dynamic
+    count(f"serve.novel.{reason}")  # REP015: prefix not a registered family
+
+
+def trace(phase: str) -> None:
+    with span("serve.unknown_phase"):  # REP015: span not in SPAN_NAMES
+        pass
+    with span("serve.request"):  # registered span — not flagged
+        count("serve.requests")  # registered metric — not flagged
+        count(f"serve.status.{phase}")  # registered dynamic prefix — legal

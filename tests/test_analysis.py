@@ -47,7 +47,7 @@ def test_every_rule_fires_on_the_fixture(fixture_report):
     assert fired == {
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         "REP007", "REP008", "REP009", "REP010", "REP011", "REP012",
-        "REP013", "REP014", "LAY001",
+        "REP013", "REP014", "REP015", "LAY001",
     }
 
 
@@ -82,6 +82,9 @@ def test_fixture_findings_point_at_the_right_files(fixture_report):
     ] * 2
     assert [f.path for f in by_rule["REP014"]] == [
         "experiments/bad_thread.py"
+    ] * 4
+    assert [f.path for f in by_rule["REP015"]] == [
+        "obs/bad_metric_name.py"
     ] * 4
     assert [f.path for f in by_rule["LAY001"]] == ["tabular/bad_layer.py"]
 
@@ -128,6 +131,10 @@ def test_fixture_line_numbers(fixture_report):
         f.line for f in fixture_report.findings if f.rule == "REP014"
     )
     assert thread_lines == [10, 12, 13, 14]
+    name_lines = sorted(
+        f.line for f in fixture_report.findings if f.rule == "REP015"
+    )
+    assert name_lines == [9, 10, 11, 15]
 
 
 def test_semantic_negatives_stay_quiet(fixture_report):
@@ -138,6 +145,9 @@ def test_semantic_negatives_stay_quiet(fixture_report):
     assert ("core/bad_loop.py", 27) not in flagged
     assert ("obs/bad_contextvar.py", 22) not in flagged
     assert ("experiments/bad_write.py", 18) not in flagged
+    # registered literal, registered span, registered dynamic prefix
+    assert ("obs/bad_metric_name.py", 18) not in flagged
+    assert ("obs/bad_metric_name.py", 19) not in flagged
 
 
 def test_suppressed_violation_is_counted_not_reported(fixture_report):
@@ -479,7 +489,7 @@ def test_rule_ids_catalogue():
     assert rule_ids() == [
         "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         "REP007", "REP008", "REP009", "REP010", "REP011", "REP012",
-        "REP013", "REP014",
+        "REP013", "REP014", "REP015",
     ]
 
 

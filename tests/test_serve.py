@@ -17,7 +17,12 @@ import urllib.request
 import pytest
 
 from repro.errors import RequestError, ReproError, ServiceOverloaded
-from repro.obs import MetricsRegistry, metrics_scope
+from repro.obs import (
+    MetricsRegistry,
+    WindowedRegistry,
+    default_objectives,
+    metrics_scope,
+)
 from repro.runtime import FaultPlan, Journal, fault_scope
 from repro.runtime.fallback import DEFAULT_CHAIN, run_with_fallback
 from repro.runtime.retry import RetryPolicy
@@ -663,3 +668,261 @@ class TestBackendPurity:
         )
         assert request.backend == "columnar"
         assert "backend" not in request.to_json()
+
+
+# --------------------------------------------------------------------- #
+# live telemetry (opt-in): windows, SLOs, flight, health gauges
+# --------------------------------------------------------------------- #
+
+
+def _live_service(clock=None, **config_overrides) -> AnonymizationService:
+    kwargs = dict(retry=_FAST_RETRY, live_telemetry=True)
+    kwargs.update(config_overrides)
+    service_kwargs = {"sleeper": _no_sleep}
+    if clock is not None:
+        service_kwargs["clock"] = clock
+    return AnonymizationService(ServiceConfig(**kwargs), **service_kwargs)
+
+
+def _serve_in_thread(service):
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, f"http://127.0.0.1:{server.port}"
+
+
+def _http_get(url, headers=None):
+    req = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type", ""), err.read()
+
+
+def _http_post(url, payload):
+    data = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url + "/anonymize", data=data, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestLiveTelemetry:
+    def test_default_off_is_byte_identical_and_unannotated(self):
+        # The purity contract: enabling telemetry must not change a
+        # single response byte, and the default-off service must carry
+        # zero new keys in its historical payloads.
+        off, on = _service(), _live_service()
+        off_env = off.handle(_request())
+        on_env = on.handle(_request())
+        assert canonical_body(off_env) == canonical_body(on_env)
+        assert off_env["request"] == on_env["request"]
+        assert sorted(off.stats()) == sorted(on.stats())
+        health = off.health()
+        assert health["status"] == "ok"
+        assert "slo" not in health
+        assert off.flight is None and off.slo is None
+        assert not isinstance(off.registry, WindowedRegistry)
+        assert isinstance(on.registry, WindowedRegistry)
+
+    def test_window_and_debugz_require_live_telemetry(self):
+        server, base = _serve_in_thread(_service())
+        try:
+            status, _, body = _http_get(base + "/metricz?window=60")
+            assert status == 400
+            assert b"live telemetry" in body
+            status, _, body = _http_get(base + "/debugz")
+            assert status == 400
+            assert b"flight recorder disabled" in body
+            # ...but the plain snapshot still carries the health gauges.
+            status, _, body = _http_get(base + "/metricz")
+            assert status == 200
+            gauges = json.loads(body)["gauges"]
+            for name in (
+                "serve.gate.depth",
+                "serve.breaker.state",
+                "serve.cache.entries",
+                "serve.cache.journal_bytes",
+            ):
+                assert name in gauges, name
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_live_endpoints_end_to_end(self):
+        server, base = _serve_in_thread(_live_service())
+        try:
+            status, envelope = _http_post(base, _request())
+            assert status == 200 and envelope["status"] == "ok"
+
+            status, ctype, body = _http_get(base + "/metricz?window=60")
+            assert status == 200 and "application/json" in ctype
+            snap = json.loads(body)
+            assert snap["v"] == 2
+            assert snap["window"]["seconds"] == 60.0
+            assert snap["window"]["counters"]["serve.requests"] >= 1
+
+            status, ctype, body = _http_get(
+                base + "/metricz?window=60&format=text"
+            )
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            assert b"repro_serve_requests_total" in body
+            assert b'window="60"' in body
+
+            # Content negotiation: an Accept header alone selects text.
+            status, ctype, _ = _http_get(
+                base + "/metricz", headers={"Accept": "text/plain"}
+            )
+            assert status == 200 and ctype.startswith("text/plain")
+
+            status, _, body = _http_get(base + "/metricz?format=yaml")
+            assert status == 400
+
+            status, _, body = _http_get(base + "/debugz")
+            assert status == 200
+            flight = json.loads(body)
+            assert flight["entries"][0]["kind"] == "request"
+            assert flight["entries"][0]["summary"]["status"] == "ok"
+
+            status, _, body = _http_get(base + "/healthz")
+            health = json.loads(body)
+            assert health["status"] in ("ok", "warn", "breach")
+            assert [o["objective"]["name"] for o in health["slo"]] == [
+                "latency-p99", "error-ratio", "shed-ratio",
+            ]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_metricz_survives_hammering_threads(self):
+        # ThreadingHTTPServer serves each request on its own thread;
+        # concurrent scrapes and POSTs must never corrupt a snapshot or
+        # error out while the windowed registry is being written.
+        server, base = _serve_in_thread(_live_service())
+        failures: list[str] = []
+
+        def scrape(path, check):
+            for _ in range(10):
+                status, _, body = _http_get(base + path)
+                if status != 200:
+                    failures.append(f"{path} -> {status}")
+                    return
+                try:
+                    check(body)
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    failures.append(f"{path}: {exc}")
+                    return
+
+        def post():
+            for _ in range(5):
+                status, envelope = _http_post(base, _request())
+                if status != 200 or envelope["status"] != "ok":
+                    failures.append(f"POST -> {status}")
+                    return
+
+        threads = [threading.Thread(target=post) for _ in range(2)]
+        threads += [
+            threading.Thread(
+                target=scrape,
+                args=("/metricz?window=60", lambda b: json.loads(b)["window"]),
+            )
+            for _ in range(3)
+        ]
+        threads += [
+            threading.Thread(
+                target=scrape,
+                args=(
+                    "/metricz?format=text",
+                    lambda b: b.index(b"repro_"),
+                ),
+            )
+            for _ in range(2)
+        ]
+        threads += [
+            threading.Thread(
+                target=scrape,
+                args=("/debugz", lambda b: json.loads(b)["entries"]),
+            )
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert failures == []
+            status, _, body = _http_get(base + "/metricz?window=60")
+            assert status == 200
+            snap = json.loads(body)
+            assert snap["counters"]["serve.requests"] == 10
+            assert snap["window"]["counters"]["serve.requests"] == 10
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_fake_clock_regression_trips_slo_once(self, tmp_path):
+        # Every clock read ticks 10 ms, so each request appears to take
+        # seconds against a 500 ms p99 target: the first request crosses
+        # the breach edge, and — critically — staying breached must not
+        # write a second dump.
+        flight_path = tmp_path / "flight.json"
+        clock = FakeClock(step=0.01)
+        service = _live_service(
+            clock=clock,
+            flight_journal=str(flight_path),
+            window_horizon_seconds=600.0,
+            objectives=default_objectives(latency_target=0.5),
+        )
+        for _ in range(3):
+            assert service.handle(_request())["status"] == "ok"
+        assert service.registry.counter("serve.slo.breaches") == 1
+        assert service.registry.counter("serve.flight.dumps") == 1
+        assert service.flight_dumps == 1
+        assert flight_path.is_file()
+        assert service.slo_status() == "breach"
+        dump = json.loads(flight_path.read_text())
+        kinds = [entry["kind"] for entry in dump["entries"]]
+        assert "breach" in kinds
+
+        # Still breached: more traffic, still exactly one dump.
+        service.handle(_request())
+        assert service.flight_dumps == 1
+        assert service.registry.counter("serve.slo.breaches") == 1
+
+        assert isinstance(service.registry, WindowedRegistry)
+        snap = service.registry.window_snapshot(60.0)
+        window = snap["window"]
+        requests = window["counters"]["serve.requests"]
+        assert requests == 4
+        assert window["rates"]["serve.requests"] == pytest.approx(
+            requests / 60.0
+        )
+        assert window["quantiles"]["serve.request_seconds"]["p99"] > 0.5
+        health = service.health()
+        assert health["status"] == "breach"
+
+    def test_slo_advisory_halves_the_breaker_and_inflates_waits(self, tmp_path):
+        clock = FakeClock(step=0.01)
+        service = _live_service(
+            clock=clock,
+            slo_advisory=True,
+            window_horizon_seconds=600.0,
+            objectives=default_objectives(latency_target=0.5),
+        )
+        baseline = _live_service()
+        assert baseline.gate._pressure == 1.0
+        service.handle(_request())
+        assert service.slo_status() == "breach"
+        # Level-triggered advisory: pressure doubled, breaker paranoid.
+        assert service.gate._pressure == 2.0
+        assert service.breaker._advised_pressure is True
+        threshold = service.config.breaker_threshold
+        for _ in range(max(1, threshold // 2)):
+            service.breaker.record_failure()
+        assert service.breaker.state == "open"
